@@ -1,0 +1,65 @@
+// Command itdos-bench regenerates the reproduction's experiment tables:
+// the paper's three figures as running scenarios (F1–F3), its quantitative
+// claims as measurements (C1–C8), and three design ablations (A1–A3). See
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// output.
+//
+// Usage:
+//
+//	itdos-bench              # run every experiment
+//	itdos-bench -exp C1      # run one experiment
+//	itdos-bench -list        # list experiments
+//	itdos-bench -markdown    # emit EXPERIMENTS-ready markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"itdos/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "itdos-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("itdos-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "", "run a single experiment id (e.g. F1, C3, A2)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	markdown := fs.Bool("markdown", false, "emit markdown instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	experiments := bench.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		}
+		experiments = []bench.Experiment{e}
+	}
+	for _, e := range experiments {
+		table, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			fmt.Println(table.Render())
+		}
+	}
+	return nil
+}

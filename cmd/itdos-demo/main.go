@@ -1,0 +1,141 @@
+// Command itdos-demo drives a configurable ITDOS deployment from the
+// command line: it builds a replicated counter service, runs a client
+// workload against it, optionally compromises replicas mid-run, and prints
+// a run report (results, traffic, fault events, expulsions).
+//
+// Examples:
+//
+//	itdos-demo                              # 4 replicas, f=1, 10 calls
+//	itdos-demo -n 7 -f 2 -calls 50          # larger domain
+//	itdos-demo -byzantine 2 -after 3        # compromise replica 2 after call 3
+//	itdos-demo -clients 3 -seed 9           # concurrent clients
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"itdos"
+	"itdos/internal/fault"
+)
+
+const counterIface = "IDL:demo/Counter:1.0"
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "itdos-demo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("itdos-demo", flag.ContinueOnError)
+	n := fs.Int("n", 4, "replicas in the service domain (>= 3f+1)")
+	f := fs.Int("f", 1, "failure bound of the service domain")
+	gmN := fs.Int("gm-n", 4, "Group Manager replicas")
+	gmF := fs.Int("gm-f", 1, "Group Manager failure bound")
+	clients := fs.Int("clients", 1, "concurrent singleton clients")
+	calls := fs.Int("calls", 10, "calls per client")
+	byz := fs.Int("byzantine", -1, "replica index to compromise (-1: none)")
+	after := fs.Int("after", 2, "compromise after this many calls of client 0")
+	seed := fs.Int64("seed", 1, "simulation seed (same seed => identical run)")
+	epsilon := fs.Float64("epsilon", 0, "inexact voting tolerance (0 = exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *byz >= *n {
+		return fmt.Errorf("-byzantine %d out of range for n=%d", *byz, *n)
+	}
+
+	reg := itdos.NewRegistry()
+	reg.Register(itdos.NewInterface(counterIface).
+		Op("inc",
+			[]itdos.Param{{Name: "by", Type: itdos.Long}},
+			[]itdos.Param{{Name: "value", Type: itdos.LongLong}}))
+
+	profiles := make([]itdos.Profile, *n)
+	for i := range profiles {
+		if i%2 == 0 {
+			profiles[i] = itdos.SolarisLike
+		} else {
+			profiles[i] = itdos.LinuxLike
+		}
+	}
+	clientSpecs := make([]itdos.ClientSpec, *clients)
+	for i := range clientSpecs {
+		clientSpecs[i] = itdos.ClientSpec{Name: fmt.Sprintf("client-%d", i)}
+	}
+	sys, err := itdos.NewSystem(itdos.Config{
+		Seed:     *seed,
+		Latency:  itdos.UniformLatency(time.Millisecond, 3*time.Millisecond),
+		Registry: reg,
+		GM:       itdos.GroupSpec{N: *gmN, F: *gmF},
+		Epsilon:  *epsilon,
+		Domains: []itdos.DomainSpec{{
+			Name: "counter", N: *n, F: *f,
+			Profiles: profiles,
+			Setup: func(member int, a *itdos.Adapter) error {
+				var value int64
+				return a.Register("ctr", counterIface, itdos.ServantFunc(
+					func(ctx *itdos.CallContext, op string, args []itdos.Value) ([]itdos.Value, error) {
+						value += int64(args[0].(int32))
+						return []itdos.Value{value}, nil
+					}))
+			},
+		}},
+		Clients: clientSpecs,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	ref := itdos.ObjectRef{Domain: "counter", ObjectKey: "ctr", Interface: counterIface}
+	fmt.Printf("deployment: counter domain n=%d f=%d, GM n=%d f=%d, %d client(s), seed %d\n",
+		*n, *f, *gmN, *gmF, *clients, *seed)
+	fmt.Println("--------------------------------------------------------------------")
+
+	for i := 0; i < *calls; i++ {
+		for c := 0; c < *clients; c++ {
+			cli := sys.Client(fmt.Sprintf("client-%d", c))
+			if c == 0 && *byz >= 0 && i == *after {
+				if err := sys.Domain("counter").Elements[*byz].Adapter.Register(
+					"ctr", counterIface, fault.LyingServant(itdos.Value(int64(-777)))); err != nil {
+					return err
+				}
+				fmt.Printf("*** compromising counter/r%d before call %d ***\n", *byz, i)
+			}
+			before := sys.Net.Stats()
+			res, err := cli.CallAndRun(ref, "inc", []itdos.Value{int32(1)}, 50_000_000)
+			msgs := sys.Net.Stats().MessagesSent - before.MessagesSent
+			if err != nil {
+				fmt.Printf("client-%d call %2d: ERROR %v\n", c, i, err)
+				continue
+			}
+			fmt.Printf("client-%d call %2d: counter=%-4v (%3d msgs)\n", c, i, res[0], msgs)
+		}
+	}
+
+	// Let fault handling settle, then report.
+	sys.Net.Run(3_000_000)
+	fmt.Println("--------------------------------------------------------------------")
+	st := sys.Net.Stats()
+	fmt.Printf("traffic: %d msgs, %d bytes; simulated time %v\n",
+		st.MessagesSent, st.BytesSent, sys.Net.Now())
+	for c := 0; c < *clients; c++ {
+		cli := sys.Client(fmt.Sprintf("client-%d", c))
+		if len(cli.FaultEvents) > 0 {
+			fmt.Printf("client-%d filed change_requests: %+v\n", c, cli.FaultEvents)
+		}
+	}
+	for j, mgr := range sys.GMManagers {
+		if len(mgr.Expulsions) > 0 {
+			fmt.Printf("GM element %d expulsions: %+v (rejected proofs: %d)\n",
+				j, mgr.Expulsions, mgr.RejectedProofs)
+			break
+		}
+	}
+	return nil
+}

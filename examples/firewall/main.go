@@ -1,0 +1,103 @@
+// Command firewall demonstrates the IT-CORBA firewall proxy of the paper's
+// Figure 1: an enclave-boundary filter that monitors BFTM traffic entering
+// a replication domain. Legitimate client traffic passes; malformed
+// frames, oversized frames and floods are dropped at the boundary before
+// they reach the replicas.
+//
+// Run with:
+//
+//	go run ./examples/firewall
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"itdos"
+	"itdos/internal/firewall"
+	"itdos/internal/netsim"
+	"itdos/internal/smiop"
+)
+
+const kvIface = "IDL:examples/KV:1.0"
+
+func main() {
+	reg := itdos.NewRegistry()
+	reg.Register(itdos.NewInterface(kvIface).
+		Op("put",
+			[]itdos.Param{{Name: "k", Type: itdos.String}, {Name: "v", Type: itdos.String}},
+			[]itdos.Param{{Name: "old", Type: itdos.String}}))
+
+	sys, err := itdos.NewSystem(itdos.Config{
+		Seed:     1,
+		Latency:  itdos.UniformLatency(time.Millisecond, 2*time.Millisecond),
+		Registry: reg,
+		Domains: []itdos.DomainSpec{{
+			Name: "kv", N: 4, F: 1,
+			Setup: func(member int, a *itdos.Adapter) error {
+				store := map[string]string{}
+				return a.Register("kv", kvIface, itdos.ServantFunc(
+					func(ctx *itdos.CallContext, op string, args []itdos.Value) ([]itdos.Value, error) {
+						k, v := args[0].(string), args[1].(string)
+						old := store[k]
+						store[k] = v
+						return []itdos.Value{old}, nil
+					}))
+			},
+		}},
+		Clients: []itdos.ClientSpec{{Name: "alice"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Stand a firewall proxy at the kv enclave boundary: only DATA and
+	// control envelopes that parse are admitted, and any single source is
+	// limited to 64 frames per window.
+	protected := sys.Domain("kv").Dom.Addrs()
+	proxy := firewall.New(firewall.Policy{
+		RatePerSource: 64,
+		RateWindow:    1 << 20,
+		AllowKinds: map[smiop.Kind]bool{
+			smiop.KindData:          true,
+			smiop.KindKeyShare:      true,
+			smiop.KindOpenRequest:   true,
+			smiop.KindChangeRequest: true,
+		},
+	}, protected)
+	sys.Net.AddFilter(proxy.Filter())
+
+	fmt.Println("firewall proxy at the `kv` enclave boundary (Figure 1)")
+	fmt.Println("-------------------------------------------------------")
+
+	ref := itdos.ObjectRef{Domain: "kv", ObjectKey: "kv", Interface: kvIface}
+	alice := sys.Client("alice")
+	if _, err := alice.CallAndRun(ref, "put",
+		[]itdos.Value{"motd", "hello"}, 10_000_000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. legitimate put() passed the proxy           %+v\n", proxy.Stats())
+
+	// An attacker outside the enclave floods the replicas with garbage and
+	// with syntactically valid but oversized frames.
+	sys.Net.AddNode("attacker", netsim.HandlerFunc(func(netsim.NodeID, []byte) {}))
+	for i := 0; i < 500; i++ {
+		sys.Net.Send("attacker", protected[i%len(protected)], []byte("junk-junk-junk"))
+	}
+	sys.Net.Send("attacker", protected[0], make([]byte, 4<<20))
+	sys.Net.Run(10_000_000)
+	fmt.Printf("2. 500 garbage frames + 1 oversized dropped    %+v\n", proxy.Stats())
+
+	// Service is unaffected.
+	res, err := alice.CallAndRun(ref, "put",
+		[]itdos.Value{"motd", "still here"}, 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3. put() after the flood -> old=%q        %+v\n", res[0], proxy.Stats())
+	fmt.Println("-------------------------------------------------------")
+	fmt.Println("the proxy admits only parseable BFTM traffic within the rate budget;")
+	fmt.Println("intra-enclave replica traffic bypasses it entirely.")
+}

@@ -1,0 +1,146 @@
+// Command heterogeneous demonstrates the paper's core technical claim
+// (§3.6): byte-by-byte voting does not work correctly in the presence of
+// heterogeneity or inexact values, while ITDOS's unmarshalled (and, for
+// floating point, inexact) voting does.
+//
+// Three escalating scenarios run over a domain of four replicas split
+// across big- and little-endian platforms (f = 1):
+//
+//  1. Healthy run — byte voting *appears* to work, but only because two
+//     replicas happen to share a platform: its effective redundancy is the
+//     size of the largest same-encoding clique, not n.
+//  2. One slow replica + one compromised replica (both within the f=1
+//     budget when counted as a single fault each for different voters) —
+//     byte voting can no longer find f+1 identical byte streams and
+//     stalls; value voting still decides from one big-endian and one
+//     little-endian correct reply.
+//  3. Platform-divergent floating point — byte and exact-value voting both
+//     stall; inexact voting (Parhami [31], paper §3.6) decides.
+//
+// Run with:
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"itdos"
+	"itdos/internal/fault"
+	"itdos/internal/netsim"
+)
+
+const mathIface = "IDL:examples/Math:1.0"
+
+func buildSystem(seed int64, byteVoting bool, epsilon, jitter float64) (*itdos.System, error) {
+	reg := itdos.NewRegistry()
+	reg.Register(itdos.NewInterface(mathIface).
+		Op("norm2",
+			[]itdos.Param{{Name: "x", Type: itdos.Double}, {Name: "y", Type: itdos.Double}},
+			[]itdos.Param{{Name: "n", Type: itdos.Double}}).
+		Op("concat",
+			[]itdos.Param{{Name: "a", Type: itdos.String}, {Name: "b", Type: itdos.String}},
+			[]itdos.Param{{Name: "ab", Type: itdos.String}}))
+	platforms := []itdos.Profile{
+		{Order: itdos.BigEndian, FloatJitter: jitter, OS: "solaris", Lang: "cpp"},
+		{Order: itdos.LittleEndian, FloatJitter: jitter, OS: "linux", Lang: "java"},
+		{Order: itdos.BigEndian, FloatJitter: jitter, OS: "aix", Lang: "ada"},
+		{Order: itdos.LittleEndian, FloatJitter: jitter, OS: "hpux", Lang: "cpp"},
+	}
+	return itdos.NewSystem(itdos.Config{
+		Seed:       seed,
+		Latency:    itdos.UniformLatency(time.Millisecond, 2*time.Millisecond),
+		Registry:   reg,
+		ByteVoting: byteVoting,
+		Epsilon:    epsilon,
+		Domains: []itdos.DomainSpec{{
+			Name: "math", N: 4, F: 1,
+			Profiles: platforms,
+			Setup: func(member int, a *itdos.Adapter) error {
+				return a.Register("math-1", mathIface, itdos.ServantFunc(
+					func(ctx *itdos.CallContext, op string, args []itdos.Value) ([]itdos.Value, error) {
+						switch op {
+						case "norm2":
+							x, y := args[0].(float64), args[1].(float64)
+							return []itdos.Value{x*x + y*y}, nil
+						case "concat":
+							return []itdos.Value{args[0].(string) + args[1].(string)}, nil
+						}
+						return nil, &itdos.UserException{Name: "bad-op"}
+					}))
+			},
+		}},
+		Clients: []itdos.ClientSpec{{Name: "alice"}},
+	})
+}
+
+type outcome string
+
+func attempt(sys *itdos.System, op string, args []itdos.Value) outcome {
+	ref := itdos.ObjectRef{Domain: "math", ObjectKey: "math-1", Interface: mathIface}
+	if _, err := sys.Client("alice").CallAndRun(ref, op, args, 800_000); err != nil {
+		return "STALLED"
+	}
+	return "ok"
+}
+
+// sabotage silences one little-endian replica towards the client and
+// compromises one big-endian replica — after which no two correct replies
+// share a byte encoding.
+func sabotage(sys *itdos.System) error {
+	sys.Net.AddFilter(fault.MuteTowards(
+		netsim.NodeID("math/r3"), netsim.NodeID("alice/inbox")))
+	return sys.Domain("math").Elements[0].Adapter.Register(
+		"math-1", mathIface, fault.LyingServant(itdos.Value("hacked")))
+}
+
+func main() {
+	fmt.Println("heterogeneous voting (4 replicas: solaris/cpp+BE, linux/java+LE, aix/ada+BE, hpux/cpp+LE; f=1)")
+	fmt.Println()
+	fmt.Printf("%-34s %-14s %-14s %s\n", "scenario", "byte-by-byte", "value-exact", "value-inexact")
+
+	type cfg struct {
+		name       string
+		byteVoting bool
+		epsilon    float64
+	}
+	voters := []cfg{
+		{"byte", true, 0},
+		{"exact", false, 0},
+		{"inexact", false, 1e-9},
+	}
+
+	row := func(name string, jitter float64, doSabotage bool, op string, args []itdos.Value) {
+		results := make([]outcome, len(voters))
+		for i, v := range voters {
+			sys, err := buildSystem(31, v.byteVoting, v.epsilon, jitter)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if doSabotage {
+				if err := sabotage(sys); err != nil {
+					log.Fatal(err)
+				}
+			}
+			results[i] = attempt(sys, op, args)
+			_ = sys.Close()
+		}
+		fmt.Printf("%-34s %-14s %-14s %s\n", name, results[0], results[1], results[2])
+	}
+
+	strArgs := []itdos.Value{"inter", "op"}
+	fltArgs := []itdos.Value{3.0, 4.0}
+	row("1. healthy, strings", 0, false, "concat", strArgs)
+	row("2. 1 slow + 1 compromised, strings", 0, true, "concat", strArgs)
+	row("3. healthy, divergent floats", 1e-12, false, "norm2", fltArgs)
+
+	fmt.Println()
+	fmt.Println("row 1: byte voting only succeeds because two replicas share a platform —")
+	fmt.Println("       heterogeneity already cut its redundancy from 4 copies to 2.")
+	fmt.Println("row 2: with one slow and one lying replica no two correct replies are")
+	fmt.Println("       byte-identical; byte voting stalls, value voting still decides.")
+	fmt.Println("row 3: platform floating-point divergence defeats both byte and exact")
+	fmt.Println("       voting; only inexact voting (paper §3.6) reaches f+1 agreement.")
+}

@@ -1,0 +1,121 @@
+// Command intrusion walks through the full intrusion-tolerance story of
+// the paper: a replica is compromised and starts returning attacker-chosen
+// values; the voter masks the bad value; the client detects the conflict,
+// files a change_request carrying the signed messages as proof; the
+// replicated Group Manager validates the proof with its marshalling
+// engine, expels the traitor, and rekeys the communication group so the
+// expelled element is cryptographically locked out (paper §3.5–3.6).
+//
+// Run with:
+//
+//	go run ./examples/intrusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"itdos"
+)
+
+const sensorIface = "IDL:examples/Sensor:1.0"
+
+func main() {
+	reg := itdos.NewRegistry()
+	reg.Register(itdos.NewInterface(sensorIface).
+		Op("read",
+			[]itdos.Param{{Name: "channel", Type: itdos.Long}},
+			[]itdos.Param{{Name: "value", Type: itdos.Double}}))
+
+	// A deterministic "sensor" service.
+	makeServant := func() itdos.Servant {
+		return itdos.ServantFunc(func(ctx *itdos.CallContext, op string, args []itdos.Value) ([]itdos.Value, error) {
+			ch := args[0].(int32)
+			return []itdos.Value{float64(ch) * 1.5}, nil
+		})
+	}
+	sys, err := itdos.NewSystem(itdos.Config{
+		Seed:     7,
+		Latency:  itdos.UniformLatency(time.Millisecond, 3*time.Millisecond),
+		Registry: reg,
+		GM:       itdos.GroupSpec{N: 4, F: 1},
+		Domains: []itdos.DomainSpec{{
+			Name: "sensors", N: 4, F: 1,
+			Profiles: []itdos.Profile{
+				itdos.SolarisLike, itdos.LinuxLike, itdos.SolarisLike, itdos.LinuxLike,
+			},
+			Setup: func(member int, a *itdos.Adapter) error {
+				return a.Register("array-1", sensorIface, makeServant())
+			},
+		}},
+		Clients: []itdos.ClientSpec{{Name: "operator"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	ref := itdos.ObjectRef{Domain: "sensors", ObjectKey: "array-1", Interface: sensorIface}
+	op := sys.Client("operator")
+
+	fmt.Println("ITDOS intrusion tolerance walkthrough (f=1, n=4)")
+	fmt.Println("=================================================")
+
+	res, err := op.CallAndRun(ref, "read", []itdos.Value{int32(4)}, 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. healthy read(4) = %v — all four replicas agree\n", res[0])
+
+	// The adversary compromises replica 2: it now reports attacker-chosen
+	// readings (an arbitrary/Byzantine value fault).
+	evil := itdos.ServantFunc(func(ctx *itdos.CallContext, op string, args []itdos.Value) ([]itdos.Value, error) {
+		return []itdos.Value{9999.0}, nil
+	})
+	if err := sys.Domain("sensors").Elements[2].Adapter.Register("array-1", sensorIface, evil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2. ADVERSARY compromises sensors/r2: it now answers 9999.0")
+
+	res, err = op.CallAndRun(ref, "read", []itdos.Value{int32(4)}, 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3. read(4) = %v — the voter needed only f+1 matching replies;\n", res[0])
+	fmt.Println("   the traitor's 9999.0 was masked")
+
+	// Drive the network until every Group Manager element has processed
+	// the operator's change_request.
+	if err := sys.RunUntil(func() bool {
+		for _, mgr := range sys.GMManagers {
+			if !mgr.IsExpelled("sensors", 2) {
+				return false
+			}
+		}
+		return true
+	}, 20_000_000); err != nil {
+		log.Fatalf("expulsion did not complete: %v", err)
+	}
+	ev := op.FaultEvents
+	fmt.Printf("4. operator detected the conflicting signed reply and filed a\n")
+	fmt.Printf("   change_request with proof (events: %+v)\n", ev)
+	fmt.Println("5. the replicated Group Manager re-voted the unmarshalled proof")
+	fmt.Println("   values with its marshalling engine and EXPELLED sensors/r2")
+
+	sys.Net.RunFor(100 * time.Millisecond) // let rekey bundles settle
+	if id, ok := op.ConnTo("sensors"); ok {
+		conn := op.Conn(id)
+		fmt.Printf("6. the connection was rekeyed (era %d); member 2 is keyed out: %v\n",
+			conn.KeyEra(), conn.Expelled(2))
+	}
+
+	res, err = op.CallAndRun(ref, "read", []itdos.Value{int32(6)}, 20_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("7. read(6) = %v — service continues on the remaining 3 replicas\n", res[0])
+
+	fmt.Println("=================================================")
+	fmt.Println("availability and integrity held throughout a successful intrusion.")
+}

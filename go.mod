@@ -1,0 +1,3 @@
+module itdos
+
+go 1.22

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"itdos/internal/cdr"
+	"itdos/internal/idl"
+	"itdos/internal/netsim"
+	"itdos/internal/orb"
+	"itdos/internal/replica"
+)
+
+// Nested scenario: a front domain that relays calls into a back domain —
+// the replicated-client topology of paper §2/§3.1, shared by C8 and A1.
+const (
+	frontIfaceBench = "IDL:bench/Front:1.0"
+	backIfaceBench  = "IDL:bench/Back:1.0"
+)
+
+var (
+	frontBenchRef = orb.ObjectRef{Domain: "front", ObjectKey: "front", Interface: frontIfaceBench}
+	backBenchRef  = orb.ObjectRef{Domain: "back", ObjectKey: "back", Interface: backIfaceBench}
+)
+
+func nestedRegistry() *idl.Registry {
+	reg := idl.NewRegistry()
+	reg.Register(idl.NewInterface(frontIfaceBench).
+		Op("relay",
+			[]idl.Param{{Name: "x", Type: cdr.Double}},
+			[]idl.Param{{Name: "y", Type: cdr.Double}}).
+		Op("chain",
+			[]idl.Param{{Name: "x", Type: cdr.Double}, {Name: "depth", Type: cdr.Long}},
+			[]idl.Param{{Name: "y", Type: cdr.Double}}))
+	reg.Register(idl.NewInterface(backIfaceBench).
+		Op("double",
+			[]idl.Param{{Name: "x", Type: cdr.Double}},
+			[]idl.Param{{Name: "y", Type: cdr.Double}}))
+	return reg
+}
+
+type frontBenchServant struct{}
+
+func (frontBenchServant) Invoke(ctx *orb.CallContext, op string, args []cdr.Value) ([]cdr.Value, error) {
+	switch op {
+	case "relay":
+		res, err := ctx.Caller.Call(backBenchRef, "double", []cdr.Value{args[0]})
+		if err != nil {
+			return nil, err
+		}
+		return []cdr.Value{res[0]}, nil
+	case "chain":
+		// depth sequential nested invocations from one upcall.
+		x := args[0].(float64)
+		depth := int(args[1].(int32))
+		for i := 0; i < depth; i++ {
+			res, err := ctx.Caller.Call(backBenchRef, "double", []cdr.Value{x})
+			if err != nil {
+				return nil, err
+			}
+			x = res[0].(float64)
+		}
+		return []cdr.Value{x}, nil
+	}
+	return nil, orb.ErrBadOperation
+}
+
+func newNestedBenchSystem(seed int64) (*replica.System, orb.ObjectRef, error) {
+	sys, err := replica.NewSystem(replica.SystemConfig{
+		Seed:     seed,
+		Latency:  netsim.UniformLatency(time.Millisecond, 3*time.Millisecond),
+		Registry: nestedRegistry(),
+		GM:       replica.GroupSpec{N: 4, F: 1},
+		Domains: []replica.DomainSpec{
+			{
+				Name: "front", N: 4, F: 1, Profiles: mixedProfiles(4, 0),
+				Setup: func(member int, a *orb.Adapter) error {
+					return a.Register("front", frontIfaceBench, frontBenchServant{})
+				},
+			},
+			{
+				Name: "back", N: 4, F: 1, Profiles: mixedProfiles(4, 0),
+				Setup: func(member int, a *orb.Adapter) error {
+					return a.Register("back", backIfaceBench, orb.ServantFunc(
+						func(_ *orb.CallContext, _ string, args []cdr.Value) ([]cdr.Value, error) {
+							return []cdr.Value{args[0].(float64) * 2}, nil
+						}))
+				},
+			},
+		},
+		Clients: []replica.ClientSpec{{Name: "alice"}},
+	})
+	if err != nil {
+		return nil, orb.ObjectRef{}, fmt.Errorf("bench: nested system: %w", err)
+	}
+	return sys, backBenchRef, nil
+}

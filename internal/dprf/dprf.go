@@ -1,0 +1,267 @@
+// Package dprf implements the distributed (non-interactive) pseudo-random
+// function ITDOS uses for intrusion-tolerant communication-key generation
+// (paper §3.5, after Naor–Pinkas–Reingold [26]).
+//
+// Construction (the NPR "replicated subset" scheme): fix a group of n
+// parties tolerating f corruptions. Enumerate every f-element subset S of
+// the parties; each subset owns an independent sub-key k_S, and party i
+// holds k_S for every S *not containing i*. The PRF value on input x is
+//
+//	F(x) = XOR over all S of HMAC-SHA256(k_S, x)
+//
+// Any f corrupt parties miss at least one sub-key (the subset equal to the
+// corrupt set itself), so even combining everything they hold they learn
+// nothing about F(x). Any f+1 parties jointly hold every sub-key, so f+1
+// honest shares always reconstruct.
+//
+// Share verification exploits replication: each sub-key value is reported
+// by every holder of that sub-key. With shares from at least 2f+1 parties,
+// each subset value has at least f+1 reporters, so the value supported by
+// f+1 matching reports is correct and any conflicting reporter is provably
+// corrupt — which is how "the client and server replication domain
+// elements can verify which Group Manager replication domain elements
+// acted correctly" (paper §3.5).
+package dprf
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+// ValueSize is the PRF output size in bytes.
+const ValueSize = sha256.Size
+
+// Value is one PRF evaluation — in ITDOS, a communication key.
+type Value [ValueSize]byte
+
+// SubsetID canonically identifies an f-subset by its index in the
+// lexicographic enumeration of f-subsets of {0..n-1}.
+type SubsetID uint32
+
+// Subsets enumerates all f-element subsets of {0..n-1} in lexicographic
+// order. For f=0 it returns the single empty subset.
+func Subsets(n, f int) [][]int {
+	var out [][]int
+	cur := make([]int, f)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == f {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := start; v < n; v++ {
+			cur[k] = v
+			rec(v+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// Params describes a DPRF group.
+type Params struct {
+	N, F int
+}
+
+// Validate checks group parameters.
+func (p Params) Validate() error {
+	if p.N < 1 || p.F < 0 {
+		return fmt.Errorf("dprf: invalid group n=%d f=%d", p.N, p.F)
+	}
+	if p.N < 2*p.F+1 {
+		return fmt.Errorf("dprf: n=%d too small to verify against f=%d corruptions (need n >= 2f+1)",
+			p.N, p.F)
+	}
+	return nil
+}
+
+// Quorum returns the number of shares needed for verified combination.
+func (p Params) Quorum() int { return 2*p.F + 1 }
+
+// Party holds one party's sub-keys.
+type Party struct {
+	params  Params
+	id      int
+	subsets [][]int
+	keys    map[SubsetID][]byte
+}
+
+// Setup deals sub-keys to all parties from a master secret (in a real
+// deployment the sub-keys come from the offline configuration step the
+// paper assumes; the master secret stands in for that trusted dealer).
+func Setup(params Params, master []byte) ([]*Party, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	subsets := Subsets(params.N, params.F)
+	parties := make([]*Party, params.N)
+	for i := range parties {
+		parties[i] = &Party{
+			params:  params,
+			id:      i,
+			subsets: subsets,
+			keys:    make(map[SubsetID][]byte),
+		}
+	}
+	for sid, members := range subsets {
+		subKey := deriveSubKey(master, sid, members)
+		holder := make(map[int]bool, len(members))
+		for _, m := range members {
+			holder[m] = true
+		}
+		for i := range parties {
+			if !holder[i] {
+				parties[i].keys[SubsetID(sid)] = subKey
+			}
+		}
+	}
+	return parties, nil
+}
+
+func deriveSubKey(master []byte, sid int, members []int) []byte {
+	mac := hmac.New(sha256.New, master)
+	fmt.Fprintf(mac, "subset:%d:%v", sid, members)
+	return mac.Sum(nil)
+}
+
+// ID returns the party index.
+func (p *Party) ID() int { return p.id }
+
+// HeldSubsets returns the SubsetIDs this party holds keys for, sorted.
+func (p *Party) HeldSubsets() []SubsetID {
+	out := make([]SubsetID, 0, len(p.keys))
+	for sid := range p.keys {
+		out = append(out, sid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Share is one party's contribution to a PRF evaluation: the sub-PRF value
+// for every subset whose key the party holds.
+type Share struct {
+	Party int
+	Vals  map[SubsetID]Value
+}
+
+// EvalShare computes the party's share of F(x).
+func (p *Party) EvalShare(x []byte) *Share {
+	s := &Share{Party: p.id, Vals: make(map[SubsetID]Value, len(p.keys))}
+	for sid, key := range p.keys {
+		mac := hmac.New(sha256.New, key)
+		mac.Write(x)
+		var v Value
+		copy(v[:], mac.Sum(nil))
+		s.Vals[sid] = v
+	}
+	return s
+}
+
+// Combine reconstructs F(x) from shares, tolerating up to params.F corrupt
+// contributors. It requires shares from at least Quorum() distinct parties
+// and returns, alongside the value, the list of party ids whose
+// contributions conflicted with the verified majority (provably corrupt).
+func Combine(params Params, shares []*Share) (Value, []int, error) {
+	var zero Value
+	if err := params.Validate(); err != nil {
+		return zero, nil, err
+	}
+	seen := make(map[int]bool)
+	for _, s := range shares {
+		if s == nil || s.Party < 0 || s.Party >= params.N || seen[s.Party] {
+			return zero, nil, fmt.Errorf("dprf: invalid or duplicate share set")
+		}
+		seen[s.Party] = true
+	}
+	if len(shares) < params.Quorum() {
+		return zero, nil, fmt.Errorf("dprf: need %d shares, have %d", params.Quorum(), len(shares))
+	}
+	subsets := Subsets(params.N, params.F)
+	corrupt := make(map[int]bool)
+	var out Value
+	for sid := range subsets {
+		id := SubsetID(sid)
+		holder := make(map[int]bool, params.F)
+		for _, m := range subsets[sid] {
+			holder[m] = true
+		}
+		// Tally reported values for this subset.
+		counts := make(map[Value][]int)
+		for _, s := range shares {
+			if holder[s.Party] {
+				continue // party is in S: it must not hold k_S
+			}
+			v, ok := s.Vals[id]
+			if !ok {
+				// A correct holder always reports; omission is a fault.
+				corrupt[s.Party] = true
+				continue
+			}
+			counts[v] = append(counts[v], s.Party)
+		}
+		var winner *Value
+		for v, supporters := range counts {
+			if len(supporters) >= params.F+1 {
+				v := v
+				winner = &v
+				break
+			}
+		}
+		if winner == nil {
+			return zero, nil, fmt.Errorf("dprf: subset %d: no value with f+1 support (need more shares)", sid)
+		}
+		for v, supporters := range counts {
+			if v != *winner {
+				for _, pid := range supporters {
+					corrupt[pid] = true
+				}
+			}
+		}
+		for i := range out {
+			out[i] ^= winner[i]
+		}
+	}
+	// Also flag parties that claimed sub-keys they cannot hold.
+	for _, s := range shares {
+		for sid := range s.Vals {
+			if int(sid) >= len(subsets) {
+				corrupt[s.Party] = true
+				continue
+			}
+			for _, m := range subsets[sid] {
+				if m == s.Party {
+					corrupt[s.Party] = true
+				}
+			}
+		}
+	}
+	ids := make([]int, 0, len(corrupt))
+	for id := range corrupt {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return out, ids, nil
+}
+
+// Eval computes F(x) directly from the full sub-key set (dealer-side
+// reference implementation used in tests to cross-check Combine).
+func Eval(params Params, master, x []byte) (Value, error) {
+	var zero Value
+	if err := params.Validate(); err != nil {
+		return zero, err
+	}
+	subsets := Subsets(params.N, params.F)
+	var out Value
+	for sid, members := range subsets {
+		mac := hmac.New(sha256.New, deriveSubKey(master, sid, members))
+		mac.Write(x)
+		var v Value
+		copy(v[:], mac.Sum(nil))
+		for i := range out {
+			out[i] ^= v[i]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,343 @@
+package dprf
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubsetsEnumeration(t *testing.T) {
+	cases := []struct {
+		n, f, want int
+	}{
+		{4, 1, 4}, {7, 2, 21}, {10, 3, 120}, {4, 0, 1}, {5, 5, 1},
+	}
+	for _, c := range cases {
+		got := Subsets(c.n, c.f)
+		if len(got) != c.want {
+			t.Errorf("C(%d,%d) = %d subsets, want %d", c.n, c.f, len(got), c.want)
+		}
+	}
+	// Lexicographic order and uniqueness for a concrete case.
+	s := Subsets(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if fmt.Sprint(s) != fmt.Sprint(want) {
+		t.Fatalf("subsets(4,2) = %v", s)
+	}
+}
+
+func TestPartyHoldsComplementSubsets(t *testing.T) {
+	params := Params{N: 4, F: 1}
+	parties, err := Setup(params, []byte("master"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsets := Subsets(4, 1)
+	for _, p := range parties {
+		for _, sid := range p.HeldSubsets() {
+			for _, m := range subsets[sid] {
+				if m == p.ID() {
+					t.Fatalf("party %d holds subset %v containing itself", p.ID(), subsets[sid])
+				}
+			}
+		}
+		if got, want := len(p.HeldSubsets()), 3; got != want {
+			t.Fatalf("party %d holds %d subsets, want %d", p.ID(), got, want)
+		}
+	}
+}
+
+func TestCombineMatchesDirectEval(t *testing.T) {
+	for _, nf := range []struct{ n, f int }{{4, 1}, {7, 2}, {3, 1}} {
+		params := Params{N: nf.n, F: nf.f}
+		master := []byte("master-secret")
+		parties, err := Setup(params, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := []byte("common-input-1")
+		shares := make([]*Share, 0, params.Quorum())
+		for i := 0; i < params.Quorum(); i++ {
+			shares = append(shares, parties[i].EvalShare(x))
+		}
+		got, corrupt, err := Combine(params, shares)
+		if err != nil {
+			t.Fatalf("n=%d f=%d: %v", nf.n, nf.f, err)
+		}
+		if len(corrupt) != 0 {
+			t.Fatalf("honest run flagged corrupt parties: %v", corrupt)
+		}
+		want, err := Eval(params, master, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("combined value != direct eval")
+		}
+	}
+}
+
+func TestAllQuorumsAgree(t *testing.T) {
+	params := Params{N: 4, F: 1}
+	parties, _ := Setup(params, []byte("m"))
+	x := []byte("input")
+	// Every 3-of-4 quorum reconstructs the same value.
+	var ref *Value
+	for _, excl := range []int{0, 1, 2, 3} {
+		var shares []*Share
+		for i, p := range parties {
+			if i == excl {
+				continue
+			}
+			shares = append(shares, p.EvalShare(x))
+		}
+		v, _, err := Combine(params, shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = &v
+		} else if v != *ref {
+			t.Fatalf("quorum excluding %d reconstructed a different key", excl)
+		}
+	}
+}
+
+func TestFCorruptPartiesCannotReconstruct(t *testing.T) {
+	// The corrupt coalition holds every subset key except k_C where C is
+	// the coalition itself — their pooled knowledge misses exactly one
+	// HMAC term, so they cannot compute F(x). We verify the structural
+	// property: some subset has no holder within the coalition.
+	params := Params{N: 4, F: 1}
+	parties, _ := Setup(params, []byte("m"))
+	subsets := Subsets(params.N, params.F)
+	for _, corrupt := range []int{0, 1, 2, 3} {
+		held := make(map[SubsetID]bool)
+		for _, sid := range parties[corrupt].HeldSubsets() {
+			held[sid] = true
+		}
+		missing := 0
+		for sid := range subsets {
+			if !held[SubsetID(sid)] {
+				missing++
+			}
+		}
+		if missing == 0 {
+			t.Fatalf("corrupt party %d holds every subset key", corrupt)
+		}
+	}
+	// And combining only f shares fails.
+	shares := []*Share{parties[0].EvalShare([]byte("x"))}
+	if _, _, err := Combine(params, shares); err == nil {
+		t.Fatal("combine with f shares should fail")
+	}
+}
+
+func TestCorruptShareDetectedAndMasked(t *testing.T) {
+	params := Params{N: 4, F: 1}
+	master := []byte("m")
+	parties, _ := Setup(params, master)
+	x := []byte("x")
+	shares := []*Share{
+		parties[0].EvalShare(x),
+		parties[1].EvalShare(x),
+		parties[2].EvalShare(x),
+		parties[3].EvalShare(x),
+	}
+	// Party 2 lies about every value it reports.
+	for sid, v := range shares[2].Vals {
+		v[0] ^= 0xFF
+		shares[2].Vals[sid] = v
+	}
+	got, corrupt, err := Combine(params, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Eval(params, master, x)
+	if got != want {
+		t.Fatal("corrupt share changed the combined key")
+	}
+	if len(corrupt) != 1 || corrupt[0] != 2 {
+		t.Fatalf("corrupt = %v, want [2]", corrupt)
+	}
+}
+
+func TestOmittedValuesFlagged(t *testing.T) {
+	params := Params{N: 4, F: 1}
+	parties, _ := Setup(params, []byte("m"))
+	x := []byte("x")
+	shares := []*Share{
+		parties[0].EvalShare(x),
+		parties[1].EvalShare(x),
+		parties[2].EvalShare(x),
+		parties[3].EvalShare(x),
+	}
+	// Party 1 withholds the value for subset {0} (which it must hold).
+	subsetZero := func() SubsetID {
+		for sid, members := range Subsets(params.N, params.F) {
+			if len(members) == 1 && members[0] == 0 {
+				return SubsetID(sid)
+			}
+		}
+		t.Fatal("subset {0} not found")
+		return 0
+	}()
+	delete(shares[1].Vals, subsetZero)
+	_, corrupt, err := Combine(params, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt) != 1 || corrupt[0] != 1 {
+		t.Fatalf("corrupt = %v, want [1]", corrupt)
+	}
+
+	// With only a bare 2f+1 quorum {0,1,2}, withholding subset {0} leaves
+	// a single reporter (party 2) for it — below f+1, so the subset is
+	// unverifiable and Combine must fail loudly rather than guess.
+	bare := []*Share{
+		parties[0].EvalShare(x),
+		parties[1].EvalShare(x),
+		parties[2].EvalShare(x),
+	}
+	delete(bare[1].Vals, subsetZero)
+	if _, _, err := Combine(params, bare); err == nil {
+		t.Fatal("unverifiable subset silently combined")
+	}
+}
+
+func TestOverclaimedSubsetFlagged(t *testing.T) {
+	params := Params{N: 4, F: 1}
+	parties, _ := Setup(params, []byte("m"))
+	x := []byte("x")
+	shares := []*Share{
+		parties[0].EvalShare(x),
+		parties[1].EvalShare(x),
+		parties[2].EvalShare(x),
+	}
+	// Party 0 claims a value for the subset {0}, which it cannot hold.
+	subsets := Subsets(params.N, params.F)
+	for sid, members := range subsets {
+		if len(members) == 1 && members[0] == 0 {
+			shares[0].Vals[SubsetID(sid)] = Value{1, 2, 3}
+		}
+	}
+	_, corrupt, err := Combine(params, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range corrupt {
+		if id == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("overclaiming party not flagged: %v", corrupt)
+	}
+}
+
+func TestDuplicateShareRejected(t *testing.T) {
+	params := Params{N: 4, F: 1}
+	parties, _ := Setup(params, []byte("m"))
+	x := []byte("x")
+	s := parties[0].EvalShare(x)
+	if _, _, err := Combine(params, []*Share{s, s, parties[1].EvalShare(x)}); err == nil {
+		t.Fatal("duplicate share accepted")
+	}
+}
+
+func TestDifferentInputsDifferentKeys(t *testing.T) {
+	params := Params{N: 4, F: 1}
+	master := []byte("m")
+	a, _ := Eval(params, master, []byte("input-a"))
+	b, _ := Eval(params, master, []byte("input-b"))
+	if a == b {
+		t.Fatal("different inputs produced the same key")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{N: 0, F: 0}).Validate(); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := (Params{N: 2, F: 1}).Validate(); err == nil {
+		t.Error("n < 2f+1 accepted")
+	}
+	if err := (Params{N: 4, F: -1}).Validate(); err == nil {
+		t.Error("negative f accepted")
+	}
+}
+
+func TestCommonInputDeterministicAndNonRepeating(t *testing.T) {
+	a := NewCommonInput([]byte("seed"))
+	b := NewCommonInput([]byte("seed"))
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		x := a.Next("ctx")
+		y := b.Next("ctx")
+		if string(x) != string(y) {
+			t.Fatal("same seed and order produced different inputs")
+		}
+		if seen[string(x)] {
+			t.Fatal("common input repeated")
+		}
+		seen[string(x)] = true
+	}
+	if a.Counter() != 100 {
+		t.Fatalf("counter = %d", a.Counter())
+	}
+}
+
+func TestCommonInputContextSeparation(t *testing.T) {
+	a := NewCommonInput([]byte("seed"))
+	b := NewCommonInput([]byte("seed"))
+	if string(a.Next("ctx-1")) == string(b.Next("ctx-2")) {
+		t.Fatal("different contexts produced the same input")
+	}
+}
+
+func TestCommonInputReseedDiverges(t *testing.T) {
+	a := NewCommonInput([]byte("seed"))
+	b := NewCommonInput([]byte("seed"))
+	a.Reseed([]byte("entropy"))
+	if string(a.Next("ctx")) == string(b.Next("ctx")) {
+		t.Fatal("reseed had no effect")
+	}
+}
+
+func TestQuickCombineToleratesAnyFCorruptions(t *testing.T) {
+	params := Params{N: 7, F: 2}
+	master := []byte("master")
+	parties, err := Setup(params, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Eval(params, master, []byte("x"))
+	prop := func(c1, c2 uint8, flip byte) bool {
+		corrupt1, corrupt2 := int(c1)%7, int(c2)%7
+		shares := make([]*Share, 0, 7)
+		for _, p := range parties {
+			s := p.EvalShare([]byte("x"))
+			if p.ID() == corrupt1 || p.ID() == corrupt2 {
+				for sid, v := range s.Vals {
+					v[3] ^= flip | 1
+					s.Vals[sid] = v
+				}
+			}
+			shares = append(shares, s)
+		}
+		got, corrupt, err := Combine(params, shares)
+		if err != nil || got != want {
+			return false
+		}
+		for _, id := range corrupt {
+			if id != corrupt1 && id != corrupt2 {
+				return false // honest party falsely accused
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

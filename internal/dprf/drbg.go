@@ -1,0 +1,63 @@
+package dprf
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// CommonInput generates the "common non-repeating value" each Group
+// Manager element feeds the distributed PRF (paper §3.5). The paper
+// initialises per-element pseudo-random number generators from a
+// distributed random number generation process and periodically reseeds
+// them; because the GM elements consume inputs in the total order imposed
+// by their own Castro–Liskov transport, every correct element produces the
+// same input sequence.
+//
+// The generator is an HMAC-SHA256 chain (HMAC-DRBG-like): deterministic,
+// non-repeating, and forward-secure under reseeding.
+type CommonInput struct {
+	key     []byte
+	counter uint64
+}
+
+// NewCommonInput seeds a generator. All elements of a Group Manager domain
+// are configured with the same seed (the output of the distributed RNG the
+// paper describes; a configuration secret stands in here).
+func NewCommonInput(seed []byte) *CommonInput {
+	mac := hmac.New(sha256.New, seed)
+	mac.Write([]byte("common-input-init"))
+	return &CommonInput{key: mac.Sum(nil)}
+}
+
+// Next returns the next common input, bound to a context string (e.g. the
+// client/server domain pair a key is being generated for). Inputs never
+// repeat: a strictly increasing counter is folded into every output.
+func (g *CommonInput) Next(context string) []byte {
+	g.counter++
+	mac := hmac.New(sha256.New, g.key)
+	var ctr [8]byte
+	binary.BigEndian.PutUint64(ctr[:], g.counter)
+	mac.Write(ctr[:])
+	mac.Write([]byte(context))
+	out := mac.Sum(nil)
+	// Ratchet the chain key so past inputs cannot be recomputed from a
+	// later compromise.
+	next := hmac.New(sha256.New, g.key)
+	next.Write([]byte("ratchet"))
+	next.Write(ctr[:])
+	g.key = next.Sum(nil)
+	return out
+}
+
+// Reseed folds fresh entropy into the chain (periodic re-initialisation,
+// paper §3.5).
+func (g *CommonInput) Reseed(entropy []byte) {
+	mac := hmac.New(sha256.New, g.key)
+	mac.Write([]byte("reseed"))
+	mac.Write(entropy)
+	g.key = mac.Sum(nil)
+}
+
+// Counter returns how many inputs have been generated.
+func (g *CommonInput) Counter() uint64 { return g.counter }

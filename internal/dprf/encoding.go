@@ -1,0 +1,60 @@
+package dprf
+
+import (
+	"fmt"
+	"sort"
+
+	"itdos/internal/cdr"
+)
+
+// Encode serialises a share canonically (subset ids sorted).
+func (s *Share) Encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(uint32(s.Party))
+	sids := make([]SubsetID, 0, len(s.Vals))
+	for sid := range s.Vals {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	e.WriteULong(uint32(len(sids)))
+	for _, sid := range sids {
+		v := s.Vals[sid]
+		e.WriteULong(uint32(sid))
+		e.WriteOctets(v[:])
+	}
+	return e.Bytes()
+}
+
+// DecodeShare parses an encoded share.
+func DecodeShare(buf []byte) (*Share, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	party, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("dprf: decode share: %w", err)
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("dprf: decode share: %w", err)
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("dprf: implausible share size %d", n)
+	}
+	s := &Share{Party: int(party), Vals: make(map[SubsetID]Value, n)}
+	for i := 0; i < int(n); i++ {
+		sid, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := d.ReadOctets()
+		if err != nil {
+			return nil, err
+		}
+		if len(raw) != ValueSize {
+			return nil, fmt.Errorf("dprf: share value size %d", len(raw))
+		}
+		var v Value
+		copy(v[:], raw)
+		s.Vals[SubsetID(sid)] = v
+	}
+	return s, nil
+}

@@ -1,0 +1,135 @@
+// Package fault provides reusable Byzantine fault injectors for tests,
+// examples and benchmarks: compromised servants (value faults), network
+// interceptors (drop, corrupt, delay-by-drop), and scenario helpers that
+// model the adversary of the paper's threat model (§2.1) — an attacker who
+// has fully compromised up to f replication domain elements.
+package fault
+
+import (
+	"math/rand"
+
+	"itdos/internal/cdr"
+	"itdos/internal/netsim"
+	"itdos/internal/orb"
+)
+
+// LyingServant returns a servant that answers every operation with the
+// given results — a value-fault compromise: syntactically valid,
+// semantically wrong, exactly what voting must mask.
+func LyingServant(results ...cdr.Value) orb.Servant {
+	return orb.ServantFunc(func(ctx *orb.CallContext, op string, args []cdr.Value) ([]cdr.Value, error) {
+		return results, nil
+	})
+}
+
+// NegatingServant wraps a correct servant and negates numeric results — a
+// subtler value fault that still unmarshals cleanly.
+func NegatingServant(inner orb.Servant) orb.Servant {
+	return orb.ServantFunc(func(ctx *orb.CallContext, op string, args []cdr.Value) ([]cdr.Value, error) {
+		results, err := inner.Invoke(ctx, op, args)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]cdr.Value, len(results))
+		for i, r := range results {
+			switch v := r.(type) {
+			case float64:
+				out[i] = -v
+			case float32:
+				out[i] = -v
+			case int32:
+				out[i] = -v
+			case int64:
+				out[i] = -v
+			default:
+				out[i] = r
+			}
+		}
+		return out, nil
+	})
+}
+
+// ExceptionServant returns a servant that raises a user exception on every
+// call — a fail-loud compromise.
+func ExceptionServant(name string) orb.Servant {
+	return orb.ServantFunc(func(ctx *orb.CallContext, op string, args []cdr.Value) ([]cdr.Value, error) {
+		return nil, &orb.UserException{Name: name}
+	})
+}
+
+// Mute drops every message originating from addr: a crashed or silenced
+// element. The voter must decide without it (it never waits for all 3f+1,
+// paper §3.6).
+func Mute(addr netsim.NodeID) netsim.Filter {
+	return func(from, to netsim.NodeID, payload []byte) ([]byte, bool) {
+		return nil, from == addr
+	}
+}
+
+// MuteTowards drops messages from addr to a specific destination only —
+// a partial, targeted silence (e.g. a replica that stonewalls one client).
+func MuteTowards(addr, dst netsim.NodeID) netsim.Filter {
+	return func(from, to netsim.NodeID, payload []byte) ([]byte, bool) {
+		return nil, from == addr && to == dst
+	}
+}
+
+// Corrupt flips bits in messages from addr with the given probability.
+// Authenticated layers must reject the damage (signatures, MACs), making
+// corruption equivalent to loss for correct receivers.
+func Corrupt(addr netsim.NodeID, prob float64, seed int64) netsim.Filter {
+	rng := rand.New(rand.NewSource(seed))
+	return func(from, to netsim.NodeID, payload []byte) ([]byte, bool) {
+		if from != addr || len(payload) == 0 || rng.Float64() >= prob {
+			return nil, false
+		}
+		mutated := append([]byte(nil), payload...)
+		mutated[rng.Intn(len(mutated))] ^= 1 << uint(rng.Intn(8))
+		return mutated, false
+	}
+}
+
+// Lossy drops messages from addr with the given probability — a flaky
+// (not malicious) element or link.
+func Lossy(addr netsim.NodeID, prob float64, seed int64) netsim.Filter {
+	rng := rand.New(rand.NewSource(seed))
+	return func(from, to netsim.NodeID, payload []byte) ([]byte, bool) {
+		return nil, from == addr && rng.Float64() < prob
+	}
+}
+
+// Replay duplicates every k-th message from addr — replayed traffic that
+// replay windows must reject. The duplicate is delivered by mutating
+// nothing (netsim filters cannot reinject), so Replay is implemented as a
+// recorder: use Recorded() to fetch captured frames and re-send them from
+// a test.
+type Replay struct {
+	addr     netsim.NodeID
+	every    int
+	count    int
+	recorded [][]byte
+}
+
+// NewReplay captures every every-th message sent by addr.
+func NewReplay(addr netsim.NodeID, every int) *Replay {
+	if every < 1 {
+		every = 1
+	}
+	return &Replay{addr: addr, every: every}
+}
+
+// Filter returns the netsim filter that records frames.
+func (r *Replay) Filter() netsim.Filter {
+	return func(from, to netsim.NodeID, payload []byte) ([]byte, bool) {
+		if from == r.addr {
+			r.count++
+			if r.count%r.every == 0 {
+				r.recorded = append(r.recorded, append([]byte(nil), payload...))
+			}
+		}
+		return nil, false
+	}
+}
+
+// Recorded returns the captured frames.
+func (r *Replay) Recorded() [][]byte { return r.recorded }

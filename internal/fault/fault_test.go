@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"testing"
+
+	"itdos/internal/cdr"
+	"itdos/internal/netsim"
+	"itdos/internal/orb"
+)
+
+func TestLyingServant(t *testing.T) {
+	s := LyingServant(cdr.Value(666.0))
+	res, err := s.Invoke(nil, "anything", nil)
+	if err != nil || len(res) != 1 || res[0].(float64) != 666.0 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestNegatingServant(t *testing.T) {
+	inner := orb.ServantFunc(func(_ *orb.CallContext, _ string, _ []cdr.Value) ([]cdr.Value, error) {
+		return []cdr.Value{42.0, int32(7), "s"}, nil
+	})
+	res, err := NegatingServant(inner).Invoke(nil, "op", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(float64) != -42.0 || res[1].(int32) != -7 || res[2].(string) != "s" {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestExceptionServant(t *testing.T) {
+	_, err := ExceptionServant("IDL:Boom:1.0").Invoke(nil, "op", nil)
+	ue, ok := err.(*orb.UserException)
+	if !ok || ue.Name != "IDL:Boom:1.0" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMuteFilters(t *testing.T) {
+	net := netsim.NewNetwork(1, nil)
+	got := map[string]int{}
+	for _, id := range []netsim.NodeID{"a", "b", "c"} {
+		id := id
+		net.AddNode(id, netsim.HandlerFunc(func(netsim.NodeID, []byte) {
+			got[string(id)]++
+		}))
+	}
+	net.AddFilter(Mute("a"))
+	net.AddFilter(MuteTowards("b", "c"))
+	net.Send("a", "b", []byte{1}) // dropped (a muted)
+	net.Send("b", "c", []byte{1}) // dropped (b→c muted)
+	net.Send("b", "a", []byte{1}) // passes
+	net.Send("c", "b", []byte{1}) // passes
+	net.Run(100)
+	if got["a"] != 1 || got["b"] != 1 || got["c"] != 0 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestCorruptMutatesSomeMessages(t *testing.T) {
+	net := netsim.NewNetwork(1, nil)
+	changed, total := 0, 0
+	net.AddNode("rx", netsim.HandlerFunc(func(_ netsim.NodeID, p []byte) {
+		total++
+		if p[0] != 0xAA || p[1] != 0xAA {
+			changed++
+		}
+	}))
+	net.AddNode("tx", netsim.HandlerFunc(func(netsim.NodeID, []byte) {}))
+	net.AddFilter(Corrupt("tx", 0.5, 7))
+	for i := 0; i < 200; i++ {
+		net.Send("tx", "rx", []byte{0xAA, 0xAA})
+	}
+	net.Run(1000)
+	if total != 200 {
+		t.Fatalf("delivered %d", total)
+	}
+	if changed < 50 || changed > 150 {
+		t.Fatalf("corrupted %d of 200 at p=0.5", changed)
+	}
+}
+
+func TestLossyDropsSomeMessages(t *testing.T) {
+	net := netsim.NewNetwork(1, nil)
+	total := 0
+	net.AddNode("rx", netsim.HandlerFunc(func(netsim.NodeID, []byte) { total++ }))
+	net.AddNode("tx", netsim.HandlerFunc(func(netsim.NodeID, []byte) {}))
+	net.AddFilter(Lossy("tx", 0.5, 9))
+	for i := 0; i < 200; i++ {
+		net.Send("tx", "rx", []byte{1})
+	}
+	net.Run(1000)
+	if total < 50 || total > 150 {
+		t.Fatalf("delivered %d of 200 at p=0.5", total)
+	}
+}
+
+func TestReplayRecorder(t *testing.T) {
+	net := netsim.NewNetwork(1, nil)
+	net.AddNode("rx", netsim.HandlerFunc(func(netsim.NodeID, []byte) {}))
+	net.AddNode("tx", netsim.HandlerFunc(func(netsim.NodeID, []byte) {}))
+	r := NewReplay("tx", 2)
+	net.AddFilter(r.Filter())
+	for i := 0; i < 6; i++ {
+		net.Send("tx", "rx", []byte{byte(i)})
+	}
+	net.Run(100)
+	rec := r.Recorded()
+	if len(rec) != 3 {
+		t.Fatalf("recorded %d frames, want 3", len(rec))
+	}
+	if rec[0][0] != 1 || rec[1][0] != 3 || rec[2][0] != 5 {
+		t.Fatalf("recorded = %v", rec)
+	}
+}

@@ -1,0 +1,305 @@
+// Package giop implements a General Inter-ORB Protocol (GIOP) style message
+// layer with the ITDOS extensions described in the paper:
+//
+//   - every Request and Reply carries a strictly-increasing request
+//     identifier used by voters to collate copies and match replies to
+//     requests (paper §3.6);
+//   - every Request carries the full interface repository name, which plain
+//     GIOP omits, so that a process without an ORB (the Group Manager) can
+//     unmarshal the body with the idl.Registry and vote on values
+//     (paper §3.6).
+//
+// Messages are self-describing about byte order: the header flags carry the
+// sender's endianness, so heterogeneous peers marshal in their native order.
+package giop
+
+import (
+	"fmt"
+
+	"itdos/internal/cdr"
+)
+
+// Magic is the 4-byte message prefix. ITDOS tunnels GIOP over its secure
+// multicast, so the magic distinguishes middleware traffic from noise.
+var Magic = [4]byte{'G', 'I', 'O', 'P'}
+
+// Protocol version implemented by this package.
+const (
+	VersionMajor = 1
+	VersionMinor = 2
+)
+
+// MsgType enumerates GIOP message types.
+type MsgType byte
+
+// GIOP message types used by ITDOS.
+const (
+	MsgRequest MsgType = iota + 1
+	MsgReply
+	MsgCancelRequest
+	MsgCloseConnection
+	MsgError
+)
+
+// String returns the GIOP name of the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "Request"
+	case MsgReply:
+		return "Reply"
+	case MsgCancelRequest:
+		return "CancelRequest"
+	case MsgCloseConnection:
+		return "CloseConnection"
+	case MsgError:
+		return "MessageError"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+// ReplyStatus reports the outcome of an invocation.
+type ReplyStatus uint32
+
+// Reply statuses, mirroring GIOP's reply_status enumeration.
+const (
+	StatusNoException ReplyStatus = iota
+	StatusUserException
+	StatusSystemException
+)
+
+// String returns the GIOP name of the status.
+func (s ReplyStatus) String() string {
+	switch s {
+	case StatusNoException:
+		return "NO_EXCEPTION"
+	case StatusUserException:
+		return "USER_EXCEPTION"
+	case StatusSystemException:
+		return "SYSTEM_EXCEPTION"
+	default:
+		return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+	}
+}
+
+// Request is a GIOP Request with ITDOS extensions.
+type Request struct {
+	// RequestID is strictly increasing per connection; voters collate the
+	// replicas' copies of a message by it.
+	RequestID uint64
+
+	// ObjectKey names the target object within the server process.
+	ObjectKey string
+
+	// Interface is the full interface repository name (ITDOS extension).
+	Interface string
+
+	// Operation is the operation name within the interface.
+	Operation string
+
+	// ResponseExpected is false for oneway operations.
+	ResponseExpected bool
+
+	// Body is the CDR-encoded input parameter list, marshalled in the byte
+	// order of the enclosing message.
+	Body []byte
+}
+
+// Reply is a GIOP Reply with ITDOS extensions.
+type Reply struct {
+	// RequestID matches the Request this reply answers.
+	RequestID uint64
+
+	// Status is the invocation outcome.
+	Status ReplyStatus
+
+	// Exception carries the exception repository id / message when Status
+	// is not StatusNoException.
+	Exception string
+
+	// Body is the CDR-encoded result list (empty on exception).
+	Body []byte
+}
+
+// Message is a decoded GIOP message: exactly one of Request/Reply is
+// non-nil depending on Type, except for bodyless control messages.
+type Message struct {
+	Type    MsgType
+	Order   cdr.ByteOrder
+	Request *Request
+	Reply   *Reply
+
+	// CancelID is the request id for MsgCancelRequest.
+	CancelID uint64
+}
+
+const headerLen = 12
+
+// header layout: magic[4] | verMajor | verMinor | flags | msgType | size(u32)
+// where flags bit0 is the byte-order flag, as in GIOP 1.1+.
+func encodeHeader(order cdr.ByteOrder, t MsgType, bodyLen int) []byte {
+	h := make([]byte, headerLen)
+	copy(h, Magic[:])
+	h[4] = VersionMajor
+	h[5] = VersionMinor
+	h[6] = byte(order) & 1
+	h[7] = byte(t)
+	// The size field is encoded in the sender's byte order, per GIOP.
+	if order == cdr.LittleEndian {
+		h[8] = byte(bodyLen)
+		h[9] = byte(bodyLen >> 8)
+		h[10] = byte(bodyLen >> 16)
+		h[11] = byte(bodyLen >> 24)
+	} else {
+		h[8] = byte(bodyLen >> 24)
+		h[9] = byte(bodyLen >> 16)
+		h[10] = byte(bodyLen >> 8)
+		h[11] = byte(bodyLen)
+	}
+	return h
+}
+
+// EncodeRequest marshals a Request message in the given byte order.
+func EncodeRequest(order cdr.ByteOrder, r *Request) []byte {
+	e := cdr.NewEncoder(order)
+	e.WriteULongLong(r.RequestID)
+	e.WriteString(r.ObjectKey)
+	e.WriteString(r.Interface)
+	e.WriteString(r.Operation)
+	e.WriteBoolean(r.ResponseExpected)
+	e.WriteOctets(r.Body)
+	body := e.Bytes()
+	return append(encodeHeader(order, MsgRequest, len(body)), body...)
+}
+
+// EncodeReply marshals a Reply message in the given byte order.
+func EncodeReply(order cdr.ByteOrder, r *Reply) []byte {
+	e := cdr.NewEncoder(order)
+	e.WriteULongLong(r.RequestID)
+	e.WriteULong(uint32(r.Status))
+	e.WriteString(r.Exception)
+	e.WriteOctets(r.Body)
+	body := e.Bytes()
+	return append(encodeHeader(order, MsgReply, len(body)), body...)
+}
+
+// EncodeCancelRequest marshals a CancelRequest for the given request id.
+func EncodeCancelRequest(order cdr.ByteOrder, requestID uint64) []byte {
+	e := cdr.NewEncoder(order)
+	e.WriteULongLong(requestID)
+	body := e.Bytes()
+	return append(encodeHeader(order, MsgCancelRequest, len(body)), body...)
+}
+
+// EncodeCloseConnection marshals a CloseConnection message.
+func EncodeCloseConnection(order cdr.ByteOrder) []byte {
+	return encodeHeader(order, MsgCloseConnection, 0)
+}
+
+// Decode parses one GIOP message from buf. It rejects malformed input with
+// a descriptive error; Byzantine senders reach this code path, so nothing
+// here may panic.
+func Decode(buf []byte) (*Message, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("giop: message too short: %d bytes", len(buf))
+	}
+	if [4]byte(buf[:4]) != Magic {
+		return nil, fmt.Errorf("giop: bad magic %q", buf[:4])
+	}
+	if buf[4] != VersionMajor || buf[5] > VersionMinor {
+		return nil, fmt.Errorf("giop: unsupported version %d.%d", buf[4], buf[5])
+	}
+	order := cdr.ByteOrder(buf[6] & 1)
+	t := MsgType(buf[7])
+	var size uint32
+	if order == cdr.LittleEndian {
+		size = uint32(buf[8]) | uint32(buf[9])<<8 | uint32(buf[10])<<16 | uint32(buf[11])<<24
+	} else {
+		size = uint32(buf[8])<<24 | uint32(buf[9])<<16 | uint32(buf[10])<<8 | uint32(buf[11])
+	}
+	if int(size) != len(buf)-headerLen {
+		return nil, fmt.Errorf("giop: size %d does not match body length %d",
+			size, len(buf)-headerLen)
+	}
+	d := cdr.NewDecoder(buf[headerLen:], order)
+	msg := &Message{Type: t, Order: order}
+	switch t {
+	case MsgRequest:
+		req, err := decodeRequest(d)
+		if err != nil {
+			return nil, fmt.Errorf("giop: decode request: %w", err)
+		}
+		msg.Request = req
+	case MsgReply:
+		rep, err := decodeReply(d)
+		if err != nil {
+			return nil, fmt.Errorf("giop: decode reply: %w", err)
+		}
+		msg.Reply = rep
+	case MsgCancelRequest:
+		id, err := d.ReadULongLong()
+		if err != nil {
+			return nil, fmt.Errorf("giop: decode cancel: %w", err)
+		}
+		msg.CancelID = id
+	case MsgCloseConnection, MsgError:
+		// No body.
+	default:
+		return nil, fmt.Errorf("giop: unknown message type %d", byte(t))
+	}
+	return msg, nil
+}
+
+func decodeRequest(d *cdr.Decoder) (*Request, error) {
+	var r Request
+	var err error
+	if r.RequestID, err = d.ReadULongLong(); err != nil {
+		return nil, err
+	}
+	if r.ObjectKey, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if r.Interface, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if r.Operation, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	if r.ResponseExpected, err = d.ReadBoolean(); err != nil {
+		return nil, err
+	}
+	body, err := d.ReadOctets()
+	if err != nil {
+		return nil, err
+	}
+	// Copy: the decoder's buffer belongs to the transport.
+	r.Body = append([]byte(nil), body...)
+	return &r, nil
+}
+
+func decodeReply(d *cdr.Decoder) (*Reply, error) {
+	var r Reply
+	id, err := d.ReadULongLong()
+	if err != nil {
+		return nil, err
+	}
+	r.RequestID = id
+	status, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if status > uint32(StatusSystemException) {
+		return nil, fmt.Errorf("invalid reply status %d", status)
+	}
+	r.Status = ReplyStatus(status)
+	if r.Exception, err = d.ReadString(); err != nil {
+		return nil, err
+	}
+	body, err := d.ReadOctets()
+	if err != nil {
+		return nil, err
+	}
+	r.Body = append([]byte(nil), body...)
+	return &r, nil
+}

@@ -1,0 +1,170 @@
+package giop
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"itdos/internal/cdr"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		req := &Request{
+			RequestID:        42,
+			ObjectKey:        "bank/account-7",
+			Interface:        "IDL:itdos/Bank:1.0",
+			Operation:        "deposit",
+			ResponseExpected: true,
+			Body:             []byte{1, 2, 3, 4, 5},
+		}
+		buf := EncodeRequest(order, req)
+		msg, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode (%s): %v", order, err)
+		}
+		if msg.Type != MsgRequest || msg.Order != order {
+			t.Fatalf("type/order = %v/%v", msg.Type, msg.Order)
+		}
+		got := msg.Request
+		if got.RequestID != req.RequestID || got.ObjectKey != req.ObjectKey ||
+			got.Interface != req.Interface || got.Operation != req.Operation ||
+			got.ResponseExpected != req.ResponseExpected ||
+			!bytes.Equal(got.Body, req.Body) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, req)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	for _, rep := range []*Reply{
+		{RequestID: 7, Status: StatusNoException, Body: []byte{9, 9}},
+		{RequestID: 8, Status: StatusUserException, Exception: "IDL:Overdrawn:1.0"},
+		{RequestID: 9, Status: StatusSystemException, Exception: "OBJECT_NOT_EXIST"},
+	} {
+		buf := EncodeReply(cdr.LittleEndian, rep)
+		msg, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got := msg.Reply
+		if got.RequestID != rep.RequestID || got.Status != rep.Status ||
+			got.Exception != rep.Exception || !bytes.Equal(got.Body, rep.Body) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, rep)
+		}
+	}
+}
+
+func TestControlMessages(t *testing.T) {
+	msg, err := Decode(EncodeCancelRequest(cdr.BigEndian, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgCancelRequest || msg.CancelID != 55 {
+		t.Fatalf("cancel round trip: %+v", msg)
+	}
+	msg, err = Decode(EncodeCloseConnection(cdr.LittleEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != MsgCloseConnection {
+		t.Fatalf("close round trip: %+v", msg)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := EncodeRequest(cdr.BigEndian, &Request{RequestID: 1, Operation: "op"})
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:8],
+		"bad magic": append([]byte("JUNK"), good[4:]...),
+		"bad size":  append(append([]byte{}, good...), 0xFF),
+		"truncated": good[:len(good)-2],
+		"bad type": func() []byte {
+			b := append([]byte{}, good...)
+			b[7] = 99
+			return b
+		}(),
+		"bad version": func() []byte {
+			b := append([]byte{}, good...)
+			b[4] = 9
+			return b
+		}(),
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: malformed message accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsBadReplyStatus(t *testing.T) {
+	rep := EncodeReply(cdr.BigEndian, &Reply{RequestID: 1, Status: ReplyStatus(7)})
+	if _, err := Decode(rep); err == nil || !strings.Contains(err.Error(), "status") {
+		t.Fatalf("bad status accepted: %v", err)
+	}
+}
+
+func TestCrossEndianDecode(t *testing.T) {
+	// A big-endian receiver must decode a little-endian sender's message
+	// (and vice versa) — the heterogeneity requirement.
+	req := &Request{RequestID: 1 << 40, ObjectKey: "k", Interface: "I", Operation: "o"}
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		msg, err := Decode(EncodeRequest(order, req))
+		if err != nil {
+			t.Fatalf("(%s): %v", order, err)
+		}
+		if msg.Request.RequestID != req.RequestID {
+			t.Fatalf("(%s): id = %d", order, msg.Request.RequestID)
+		}
+	}
+}
+
+func TestQuickRequestRoundTrip(t *testing.T) {
+	prop := func(id uint64, key, iface, op string, resp bool, body []byte, little bool) bool {
+		if strings.ContainsRune(key, 0) || strings.ContainsRune(iface, 0) ||
+			strings.ContainsRune(op, 0) {
+			return true // CDR strings are NUL-terminated; skip NUL inputs
+		}
+		order := cdr.BigEndian
+		if little {
+			order = cdr.LittleEndian
+		}
+		req := &Request{
+			RequestID: id, ObjectKey: key, Interface: iface,
+			Operation: op, ResponseExpected: resp, Body: body,
+		}
+		msg, err := Decode(EncodeRequest(order, req))
+		if err != nil {
+			return false
+		}
+		g := msg.Request
+		return g.RequestID == id && g.ObjectKey == key && g.Interface == iface &&
+			g.Operation == op && g.ResponseExpected == resp && bytes.Equal(g.Body, body)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Byzantine senders control every byte on the wire; Decode must return
+	// errors, never panic, on arbitrary input.
+	prop := func(b []byte) bool {
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// And fuzz the header region of a valid message specifically.
+	good := EncodeRequest(cdr.BigEndian, &Request{RequestID: 3, Operation: "x"})
+	for i := 0; i < len(good); i++ {
+		for _, bit := range []byte{0x01, 0x80, 0xFF} {
+			mut := append([]byte{}, good...)
+			mut[i] ^= bit
+			_, _ = Decode(mut)
+		}
+	}
+}

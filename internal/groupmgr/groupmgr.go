@@ -1,0 +1,502 @@
+// Package groupmgr implements the ITDOS Group Manager (paper §2, §3.3,
+// §3.5, §3.6): the replicated, intrusion-tolerant service that governs
+// replication domain membership, establishes virtual connections, and
+// generates communication keys with threshold cryptography.
+//
+// The Group Manager is itself a replication domain, but its elements are
+// not CORBA servers — connection management is middleware transport
+// functionality. Each Manager instance is one Group Manager element; it
+// consumes control envelopes (open_request, change_request) delivered in
+// the total order imposed by the Group Manager's own Castro–Liskov
+// transport, so every correct element makes identical decisions, allocates
+// identical connection ids, and draws identical common inputs for the
+// distributed PRF — without any extra agreement rounds.
+package groupmgr
+
+import (
+	stdfmt "fmt"
+
+	"fmt"
+	"sort"
+
+	"itdos/internal/cdr"
+	"itdos/internal/dprf"
+	"itdos/internal/giop"
+	"itdos/internal/idl"
+	"itdos/internal/smiop"
+)
+
+// Transport is how a Group Manager element reaches the rest of the system.
+type Transport interface {
+	// SendOrdered multicasts payload into a replication domain's ordering
+	// group (the paper's "keys are sent to the target replication domain
+	// using the Castro-Liskov transport").
+	SendOrdered(domain string, payload []byte)
+	// SendDirect delivers payload to a singleton client's inbox.
+	SendDirect(client string, payload []byte)
+}
+
+// Config parameterises one Group Manager element.
+type Config struct {
+	// Index is this element's position in the Group Manager domain.
+	Index int
+	// Params is the DPRF group geometry (n_gm, f_gm).
+	Params dprf.Params
+	// Party holds this element's DPRF sub-keys.
+	Party *dprf.Party
+	// CommonSeed initialises the common-input generator; all elements
+	// share it (stand-in for the paper's distributed RNG).
+	CommonSeed []byte
+	// Domains maps every replication domain and client pseudo-domain to
+	// its group geometry.
+	Domains map[string]smiop.PeerInfo
+	// Registry is the marshalling engine the Group Manager votes with
+	// (paper §3.6 — the Group Manager does not run in an ORB).
+	Registry *idl.Registry
+	// Epsilon is the inexact-voting tolerance used when re-voting proof
+	// values.
+	Epsilon float64
+	// Transport sends bundles and is injected by the system harness.
+	Transport Transport
+	// SealShare seals a share for a recipient under the pairwise key
+	// (paper §3.5 footnote 2).
+	SealShare func(recipient string, connID, era uint64, share []byte) ([]byte, error)
+	// Verify checks an element's signature (global identity keyring).
+	Verify func(identity string, msg, sig []byte) bool
+	// MemberOf resolves an authenticated identity to its domain and member
+	// index (clients resolve to their own name with member 0).
+	MemberOf func(identity string) (domain string, member int, ok bool)
+}
+
+func (c *Config) validate() error {
+	if c.Party == nil || c.Transport == nil || c.SealShare == nil ||
+		c.Verify == nil || c.MemberOf == nil || c.Registry == nil {
+		return fmt.Errorf("groupmgr: config is missing a dependency")
+	}
+	return c.Params.Validate()
+}
+
+// connRecord is the Group Manager's view of one established connection.
+type connRecord struct {
+	ID        uint64
+	Era       uint64
+	Initiator string
+	Target    string
+	X         []byte // current common input (key material identifier)
+}
+
+// Expulsion records one completed membership change.
+type Expulsion struct {
+	Domain string
+	Member int
+	// ByProof is true when a singleton's signed-message proof drove the
+	// expulsion, false when f+1 domain members accused.
+	ByProof bool
+}
+
+// Manager is one Group Manager replication domain element.
+type Manager struct {
+	cfg    Config
+	common *dprf.CommonInput
+
+	conns     map[string]*connRecord // "initiator|target"
+	connsByID map[uint64]*connRecord
+	nextConn  uint64
+
+	expelled map[string]map[int]bool
+	// votes counts domain-member accusations: key target|member ->
+	// accuser domain -> accusing member set.
+	votes map[string]map[string]map[int]bool
+
+	// Expulsions records completed membership changes in order.
+	Expulsions []Expulsion
+	// RejectedProofs counts change_requests whose proof failed validation
+	// (e.g. a malicious client trying to expel a correct element).
+	RejectedProofs int
+}
+
+// New builds a Group Manager element.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:       cfg,
+		common:    dprf.NewCommonInput(cfg.CommonSeed),
+		conns:     make(map[string]*connRecord),
+		connsByID: make(map[uint64]*connRecord),
+		expelled:  make(map[string]map[int]bool),
+		votes:     make(map[string]map[string]map[int]bool),
+	}, nil
+}
+
+// IsExpelled reports whether a domain member has been expelled.
+func (m *Manager) IsExpelled(domain string, member int) bool {
+	return m.expelled[domain][member]
+}
+
+// Connections returns the number of established connections.
+func (m *Manager) Connections() int { return len(m.connsByID) }
+
+// HandleDelivery consumes one totally-ordered control message. sender is
+// the authenticated identity that submitted it.
+func (m *Manager) HandleDelivery(sender string, data []byte) {
+	env, err := smiop.DecodeEnvelope(data)
+	if err != nil {
+		return
+	}
+	switch env.Kind {
+	case smiop.KindOpenRequest:
+		m.onOpenRequest(sender, env)
+	case smiop.KindChangeRequest:
+		m.onChangeRequest(sender, env)
+	}
+}
+
+func (m *Manager) onOpenRequest(sender string, env *smiop.Envelope) {
+	req, err := smiop.DecodeOpenRequest(env.Payload)
+	if err != nil {
+		return
+	}
+	senderDomain, _, ok := m.cfg.MemberOf(sender)
+	if !ok || senderDomain != req.Initiator {
+		return // a process may only open connections for itself
+	}
+	init, ok := m.cfg.Domains[req.Initiator]
+	if !ok {
+		return
+	}
+	target, ok := m.cfg.Domains[req.Target]
+	if !ok || req.Target == req.Initiator {
+		return
+	}
+	key := req.Initiator + "|" + req.Target
+	rec, exists := m.conns[key]
+	if !exists {
+		m.nextConn++
+		rec = &connRecord{
+			ID:        m.nextConn,
+			Initiator: req.Initiator,
+			Target:    req.Target,
+			X:         m.common.Next(fmt.Sprintf("conn|%s|%s|era0", req.Initiator, req.Target)),
+		}
+		m.conns[key] = rec
+		m.connsByID[rec.ID] = rec
+	}
+	// (Re)distribute shares: idempotent for duplicate open_requests, and
+	// exactly what a late-joining element needs.
+	m.distribute(rec, init, target)
+}
+
+// distribute sends this element's key shares for rec to both sides.
+func (m *Manager) distribute(rec *connRecord, init, target smiop.PeerInfo) {
+	share := m.cfg.Party.EvalShare(rec.X).Encode()
+	m.sendBundle(rec, init, target, init, share)
+	m.sendBundle(rec, init, target, target, share)
+}
+
+func (m *Manager) sendBundle(rec *connRecord, init, target, dst smiop.PeerInfo, share []byte) {
+	bundle := &smiop.ShareBundle{
+		ConnID:            rec.ID,
+		Era:               rec.Era,
+		Initiator:         init,
+		Target:            target,
+		ExpelledInitiator: m.expelledList(init.Name),
+		ExpelledTarget:    m.expelledList(target.Name),
+		GMMember:          uint32(m.cfg.Index),
+		Shares:            make([][]byte, dst.N),
+	}
+	for i := 0; i < dst.N; i++ {
+		if m.expelled[dst.Name][i] {
+			continue // keyed out: no share
+		}
+		recipient := memberIdentity(dst, i)
+		sealed, err := m.cfg.SealShare(recipient, rec.ID, rec.Era, share)
+		if err != nil {
+			continue
+		}
+		bundle.Shares[i] = sealed
+	}
+	env := &smiop.Envelope{
+		Kind:      smiop.KindKeyShare,
+		ConnID:    rec.ID,
+		SrcDomain: GMDomainName,
+		SrcMember: uint32(m.cfg.Index),
+		Payload:   bundle.Encode(),
+	}
+	if dst.N == 1 {
+		m.cfg.Transport.SendDirect(dst.Name, env.Encode())
+	} else {
+		m.cfg.Transport.SendOrdered(dst.Name, env.Encode())
+	}
+}
+
+// Debug enables validation tracing (tests only).
+var Debug bool
+
+func debugf(format string, args ...any) {
+	if Debug {
+		stdfmt.Printf("groupmgr: "+format+"\n", args...)
+	}
+}
+
+// GMDomainName is the reserved replication domain name of the Group
+// Manager.
+const GMDomainName = "gm"
+
+func memberIdentity(p smiop.PeerInfo, member int) string {
+	if p.N == 1 {
+		return p.Name
+	}
+	return fmt.Sprintf("%s/r%d", p.Name, member)
+}
+
+func (m *Manager) expelledList(domain string) []uint32 {
+	var out []uint32
+	for member := range m.expelled[domain] {
+		out = append(out, uint32(member))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *Manager) onChangeRequest(sender string, env *smiop.Envelope) {
+	cr, err := smiop.DecodeChangeRequest(env.Payload)
+	if err != nil {
+		return
+	}
+	accuserDomain, accuserMember, ok := m.cfg.MemberOf(sender)
+	if !ok {
+		return
+	}
+	targetInfo, ok := m.cfg.Domains[cr.TargetDomain]
+	if !ok || int(cr.Accused) >= targetInfo.N {
+		return
+	}
+	if m.expelled[cr.TargetDomain][int(cr.Accused)] {
+		return // already expelled
+	}
+	rec, ok := m.connsByID[cr.ConnID]
+	if !ok {
+		return
+	}
+	if rec.Initiator != cr.TargetDomain && rec.Target != cr.TargetDomain {
+		return // the accused's domain is not on this connection
+	}
+	if rec.Initiator != accuserDomain && rec.Target != accuserDomain {
+		return // the accuser is not on this connection either
+	}
+
+	accuserInfo := m.cfg.Domains[accuserDomain]
+	if accuserInfo.N == 1 {
+		// Singleton accuser: a malicious client could try to expel correct
+		// processes, so proof is mandatory and voted on unmarshalled data
+		// (paper §3.6).
+		if !m.validateProof(cr, targetInfo) {
+			m.RejectedProofs++
+			return
+		}
+		m.expel(cr.TargetDomain, int(cr.Accused), true)
+		return
+	}
+	// Replication domain accuser: proof unnecessary (the request originates
+	// from a trustworthy source) but the Group Manager must receive f+1
+	// matching accusations from distinct members before acting.
+	voteKey := fmt.Sprintf("%s|%d", cr.TargetDomain, cr.Accused)
+	byDomain := m.votes[voteKey]
+	if byDomain == nil {
+		byDomain = make(map[string]map[int]bool)
+		m.votes[voteKey] = byDomain
+	}
+	members := byDomain[accuserDomain]
+	if members == nil {
+		members = make(map[int]bool)
+		byDomain[accuserDomain] = members
+	}
+	members[accuserMember] = true
+	if len(members) >= accuserInfo.F+1 {
+		m.expel(cr.TargetDomain, int(cr.Accused), false)
+	}
+}
+
+// validateProof checks a singleton accuser's signed-message proof: every
+// message must carry a valid element signature for the claimed context,
+// the values are unmarshalled with the registry (the marshalling engine)
+// and re-voted, and the accused's value must conflict with an f+1
+// majority.
+func (m *Manager) validateProof(cr *smiop.ChangeRequest, target smiop.PeerInfo) bool {
+	if len(cr.Proof) < target.F+2 { // accused + f+1 agreeing
+		debugf("proof too short: %d", len(cr.Proof))
+		return false
+	}
+	op, err := m.cfg.Registry.Lookup(cr.Interface, cr.Operation)
+	if err != nil {
+		debugf("lookup: %v", err)
+		return false
+	}
+	type entry struct {
+		member int
+		val    *provenValue
+	}
+	var entries []entry
+	seen := make(map[uint32]bool)
+	for _, item := range cr.Proof {
+		if int(item.Member) >= target.N || seen[item.Member] {
+			debugf("bad/dup member %d", item.Member)
+			return false
+		}
+		seen[item.Member] = true
+		signing := smiop.DataSigningBytes(cr.ConnID, cr.RequestID, cr.TargetDomain,
+			item.Member, cr.Reply, item.GIOP)
+		identity := memberIdentity(target, int(item.Member))
+		if !m.cfg.Verify(identity, signing, item.Sig) {
+			debugf("bad sig from %s", identity)
+			return false
+		}
+		val, err := m.unmarshalProof(op, cr.Reply, item.GIOP)
+		if err != nil {
+			debugf("unmarshal member %d: %v", item.Member, err)
+			return false
+		}
+		entries = append(entries, entry{member: int(item.Member), val: val})
+	}
+	// Re-vote: cluster values, find a class with f+1 support.
+	var accusedVal *provenValue
+	classes := make([][]entry, 0, len(entries))
+	for _, e := range entries {
+		if e.member == int(cr.Accused) {
+			accusedVal = e.val
+		}
+		placed := false
+		for ci := range classes {
+			eq, err := m.equalValues(op, cr.Reply, classes[ci][0].val, e.val)
+			if err != nil {
+				return false
+			}
+			if eq {
+				classes[ci] = append(classes[ci], e)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, []entry{e})
+		}
+	}
+	if accusedVal == nil {
+		debugf("no accused value")
+		return false
+	}
+	for _, class := range classes {
+		hasAccused := false
+		distinct := make(map[int]bool)
+		for _, e := range class {
+			distinct[e.member] = true
+			if e.member == int(cr.Accused) {
+				hasAccused = true
+			}
+		}
+		if hasAccused {
+			continue
+		}
+		if len(distinct) >= target.F+1 {
+			// A correct majority disagrees with the accused: proof stands
+			// if the accused's value is not equal to this class.
+			eq, err := m.equalValues(op, cr.Reply, class[0].val, accusedVal)
+			if err != nil || eq {
+				return false
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// provenValue is one unmarshalled proof message.
+type provenValue struct {
+	status    giop.ReplyStatus
+	exception string
+	body      cdr.Value
+	tc        *cdr.TypeCode
+}
+
+func (m *Manager) unmarshalProof(op *idl.Operation, reply bool, giopBytes []byte) (*provenValue, error) {
+	msg, err := giop.Decode(giopBytes)
+	if err != nil {
+		return nil, err
+	}
+	if reply {
+		if msg.Reply == nil {
+			return nil, fmt.Errorf("groupmgr: proof message is not a reply")
+		}
+		pv := &provenValue{status: msg.Reply.Status, exception: msg.Reply.Exception, tc: cdr.Void}
+		if msg.Reply.Status == giop.StatusNoException {
+			body, err := cdr.Unmarshal(op.ResultsType(), msg.Reply.Body, msg.Order)
+			if err != nil {
+				return nil, err
+			}
+			pv.body = body
+			pv.tc = op.ResultsType()
+		}
+		return pv, nil
+	}
+	if msg.Request == nil {
+		return nil, fmt.Errorf("groupmgr: proof message is not a request")
+	}
+	body, err := cdr.Unmarshal(op.ParamsType(), msg.Request.Body, msg.Order)
+	if err != nil {
+		return nil, err
+	}
+	return &provenValue{body: body, tc: op.ParamsType()}, nil
+}
+
+func (m *Manager) equalValues(op *idl.Operation, reply bool, a, b *provenValue) (bool, error) {
+	if a.status != b.status || a.exception != b.exception {
+		return false, nil
+	}
+	if !a.tc.Equal(b.tc) {
+		return false, nil
+	}
+	feq := cdr.ExactFloatEq
+	if eps := m.cfg.Epsilon; eps > 0 {
+		feq = func(x, y float64) bool {
+			if x == y {
+				return true
+			}
+			d := x - y
+			if d < 0 {
+				d = -d
+			}
+			return d <= eps
+		}
+	}
+	return cdr.EqualValues(a.tc, a.body, b.body, feq)
+}
+
+// expel removes a member from its domain by keying it out of every
+// communication group it belongs to (paper §3.6): every affected
+// connection moves to a new era with fresh keys the expelled member never
+// receives.
+func (m *Manager) expel(domain string, member int, byProof bool) {
+	if m.expelled[domain] == nil {
+		m.expelled[domain] = make(map[int]bool)
+	}
+	m.expelled[domain][member] = true
+	m.Expulsions = append(m.Expulsions, Expulsion{Domain: domain, Member: member, ByProof: byProof})
+
+	// Rekey every connection the domain participates in, in deterministic
+	// (id) order.
+	ids := make([]uint64, 0, len(m.connsByID))
+	for id, rec := range m.connsByID {
+		if rec.Initiator == domain || rec.Target == domain {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := m.connsByID[id]
+		rec.Era++
+		rec.X = m.common.Next(fmt.Sprintf("conn|%s|%s|era%d", rec.Initiator, rec.Target, rec.Era))
+		m.distribute(rec, m.cfg.Domains[rec.Initiator], m.cfg.Domains[rec.Target])
+	}
+}

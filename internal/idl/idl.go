@@ -1,0 +1,150 @@
+// Package idl provides runtime interface definitions: named interfaces,
+// their operations, and operation signatures expressed as cdr.TypeCodes.
+//
+// A Registry is ITDOS's "marshalling engine" (paper §3.6): because ITDOS
+// embeds the full interface name in every GIOP message (which plain GIOP
+// does not carry), any process holding the Registry — in particular the
+// Group Manager, which does not run an ORB — can unmarshal a raw message
+// and vote on its values.
+package idl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"itdos/internal/cdr"
+)
+
+// Param is a named, typed operation parameter or result.
+type Param struct {
+	Name string
+	Type *cdr.TypeCode
+}
+
+// Operation describes one IDL operation: its input parameters and its
+// results (the return value plus any out parameters, flattened).
+type Operation struct {
+	Name    string
+	Params  []Param
+	Results []Param
+}
+
+// paramsTC builds a synthetic struct TypeCode covering a parameter list so
+// the whole list can be marshalled, unmarshalled, and compared as one value.
+func paramsTC(name string, params []Param) *cdr.TypeCode {
+	members := make([]cdr.Member, len(params))
+	for i, p := range params {
+		members[i] = cdr.Member{Name: p.Name, Type: p.Type}
+	}
+	return cdr.StructOf(name, members...)
+}
+
+// ParamsType returns the TypeCode describing the operation's input
+// parameter list as a single struct value.
+func (op *Operation) ParamsType() *cdr.TypeCode {
+	return paramsTC(op.Name+"/in", op.Params)
+}
+
+// ResultsType returns the TypeCode describing the operation's result list
+// as a single struct value.
+func (op *Operation) ResultsType() *cdr.TypeCode {
+	return paramsTC(op.Name+"/out", op.Results)
+}
+
+// Interface is a named collection of operations, the unit a CORBA object
+// reference points at.
+type Interface struct {
+	Name string
+	ops  map[string]*Operation
+}
+
+// NewInterface creates an interface with the given repository name.
+func NewInterface(name string) *Interface {
+	return &Interface{Name: name, ops: make(map[string]*Operation)}
+}
+
+// Define adds an operation to the interface, replacing any previous
+// operation of the same name, and returns the interface for chaining.
+func (it *Interface) Define(op *Operation) *Interface {
+	it.ops[op.Name] = op
+	return it
+}
+
+// Op adds an operation built from parameter and result lists and returns
+// the interface for chaining.
+func (it *Interface) Op(name string, params, results []Param) *Interface {
+	return it.Define(&Operation{Name: name, Params: params, Results: results})
+}
+
+// Operation looks up an operation by name.
+func (it *Interface) Operation(name string) (*Operation, error) {
+	op, ok := it.ops[name]
+	if !ok {
+		return nil, fmt.Errorf("idl: interface %s has no operation %q", it.Name, name)
+	}
+	return op, nil
+}
+
+// Operations returns the interface's operations sorted by name.
+func (it *Interface) Operations() []*Operation {
+	out := make([]*Operation, 0, len(it.ops))
+	for _, op := range it.ops {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Registry maps interface names to definitions. It is safe for concurrent
+// use. A Registry is distributed as configuration to every process in an
+// ITDOS system, including the Group Manager.
+type Registry struct {
+	mu         sync.RWMutex
+	interfaces map[string]*Interface
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{interfaces: make(map[string]*Interface)}
+}
+
+// Register adds an interface definition. Registering a name twice replaces
+// the earlier definition.
+func (r *Registry) Register(it *Interface) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.interfaces[it.Name] = it
+}
+
+// Interface looks up an interface by repository name.
+func (r *Registry) Interface(name string) (*Interface, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	it, ok := r.interfaces[name]
+	if !ok {
+		return nil, fmt.Errorf("idl: unknown interface %q", name)
+	}
+	return it, nil
+}
+
+// Lookup resolves an (interface, operation) pair in one call.
+func (r *Registry) Lookup(ifaceName, opName string) (*Operation, error) {
+	it, err := r.Interface(ifaceName)
+	if err != nil {
+		return nil, err
+	}
+	return it.Operation(opName)
+}
+
+// Names returns the registered interface names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.interfaces))
+	for name := range r.interfaces {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,140 @@
+package idl
+
+import (
+	"testing"
+
+	"itdos/internal/cdr"
+)
+
+func buildCalc() *Interface {
+	return NewInterface("IDL:Calc:1.0").
+		Op("add",
+			[]Param{{Name: "a", Type: cdr.Double}, {Name: "b", Type: cdr.Double}},
+			[]Param{{Name: "sum", Type: cdr.Double}}).
+		Op("noop", nil, nil)
+}
+
+func TestInterfaceOperations(t *testing.T) {
+	it := buildCalc()
+	op, err := it.Operation("add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(op.Params) != 2 || len(op.Results) != 1 {
+		t.Fatalf("add signature: %d in, %d out", len(op.Params), len(op.Results))
+	}
+	if _, err := it.Operation("mul"); err == nil {
+		t.Fatal("unknown operation resolved")
+	}
+	ops := it.Operations()
+	if len(ops) != 2 || ops[0].Name != "add" || ops[1].Name != "noop" {
+		t.Fatalf("operations = %v", ops)
+	}
+}
+
+func TestParamsTypeCodes(t *testing.T) {
+	it := buildCalc()
+	op, _ := it.Operation("add")
+	in := op.ParamsType()
+	if in.Kind != cdr.KindStruct || len(in.Members) != 2 {
+		t.Fatalf("params type = %s", in)
+	}
+	if in.Members[0].Name != "a" || in.Members[1].Name != "b" {
+		t.Fatalf("member names: %+v", in.Members)
+	}
+	out := op.ResultsType()
+	if len(out.Members) != 1 || out.Members[0].Type != cdr.Double {
+		t.Fatalf("results type = %s", out)
+	}
+	// A parameter list marshals and unmarshals as one struct value.
+	buf, err := cdr.Marshal(in, []cdr.Value{1.5, 2.5}, cdr.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cdr.Unmarshal(in, buf, cdr.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.([]cdr.Value)[1].(float64) != 2.5 {
+		t.Fatalf("round trip = %v", v)
+	}
+	// Empty signatures produce empty structs.
+	noop, _ := it.Operation("noop")
+	if len(noop.ParamsType().Members) != 0 || len(noop.ResultsType().Members) != 0 {
+		t.Fatal("noop signature not empty")
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(buildCalc())
+	if _, err := reg.Interface("IDL:Calc:1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Interface("IDL:Nope:1.0"); err == nil {
+		t.Fatal("unknown interface resolved")
+	}
+	op, err := reg.Lookup("IDL:Calc:1.0", "add")
+	if err != nil || op.Name != "add" {
+		t.Fatalf("lookup: %v, %v", op, err)
+	}
+	if _, err := reg.Lookup("IDL:Calc:1.0", "mul"); err == nil {
+		t.Fatal("unknown op resolved")
+	}
+	if _, err := reg.Lookup("IDL:Nope:1.0", "add"); err == nil {
+		t.Fatal("unknown interface op resolved")
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "IDL:Calc:1.0" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(NewInterface("I").Op("v1", nil, nil))
+	reg.Register(NewInterface("I").Op("v2", nil, nil))
+	if _, err := reg.Lookup("I", "v1"); err == nil {
+		t.Fatal("stale definition survived re-registration")
+	}
+	if _, err := reg.Lookup("I", "v2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefineReplacesOperation(t *testing.T) {
+	it := NewInterface("I").Op("op", nil, nil)
+	it.Op("op", []Param{{Name: "x", Type: cdr.Long}}, nil)
+	op, err := it.Operation("op")
+	if err != nil || len(op.Params) != 1 {
+		t.Fatalf("redefined op: %v, %v", op, err)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(buildCalc())
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				if _, err := reg.Lookup("IDL:Calc:1.0", "add"); err != nil {
+					t.Error(err)
+					return
+				}
+				reg.Names()
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				reg.Register(NewInterface("IDL:Other:1.0").Op("x", nil, nil))
+			}
+		}(i)
+	}
+	for i := 0; i < 6; i++ {
+		<-done
+	}
+}

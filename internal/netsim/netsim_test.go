@@ -1,0 +1,241 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+type recorder struct {
+	msgs []string
+}
+
+func (r *recorder) Receive(from NodeID, payload []byte) {
+	r.msgs = append(r.msgs, string(from)+":"+string(payload))
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	net := NewNetwork(1, ConstantLatency(time.Millisecond))
+	rec := &recorder{}
+	net.AddNode("a", HandlerFunc(func(NodeID, []byte) {}))
+	net.AddNode("b", rec)
+	net.Send("a", "b", []byte("hi"))
+	net.Run(100)
+	if len(rec.msgs) != 1 || rec.msgs[0] != "a:hi" {
+		t.Fatalf("msgs = %v", rec.msgs)
+	}
+	if net.Now() != time.Millisecond {
+		t.Fatalf("virtual time = %v", net.Now())
+	}
+	st := net.Stats()
+	if st.MessagesSent != 1 || st.MessagesDelivered != 1 || st.BytesSent != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMulticastReachesAllMembersIncludingSender(t *testing.T) {
+	net := NewNetwork(1, nil)
+	recs := map[NodeID]*recorder{}
+	for _, id := range []NodeID{"a", "b", "c"} {
+		r := &recorder{}
+		recs[id] = r
+		net.AddNode(id, r)
+		net.JoinGroup("g", id)
+	}
+	net.Multicast("a", "g", []byte("m"))
+	net.Run(100)
+	for id, r := range recs {
+		if len(r.msgs) != 1 {
+			t.Fatalf("node %s got %d messages", id, len(r.msgs))
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []string {
+		net := NewNetwork(seed, UniformLatency(time.Millisecond, 10*time.Millisecond))
+		rec := &recorder{}
+		net.AddNode("sink", rec)
+		for i := 0; i < 20; i++ {
+			net.AddNode(NodeID(rune('a'+i)), HandlerFunc(func(NodeID, []byte) {}))
+		}
+		for i := 0; i < 20; i++ {
+			net.Send(NodeID(rune('a'+i)), "sink", []byte{byte(i)})
+		}
+		net.Run(1000)
+		return rec.msgs
+	}
+	a, b := run(42), run(42)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("note: different seeds produced identical order (possible but unlikely)")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	net := NewNetwork(1, nil)
+	rec := &recorder{}
+	net.AddNode("a", HandlerFunc(func(NodeID, []byte) {}))
+	net.AddNode("b", rec)
+	net.Partition([]NodeID{"a"}, []NodeID{"b"})
+	net.Send("a", "b", []byte("lost"))
+	net.Run(100)
+	if len(rec.msgs) != 0 {
+		t.Fatalf("partitioned message delivered: %v", rec.msgs)
+	}
+	net.Heal()
+	net.Send("a", "b", []byte("ok"))
+	net.Run(100)
+	if len(rec.msgs) != 1 {
+		t.Fatalf("healed message not delivered")
+	}
+	if net.Stats().MessagesDropped != 1 {
+		t.Fatalf("drop count = %d", net.Stats().MessagesDropped)
+	}
+}
+
+func TestFilterMutatesAndDrops(t *testing.T) {
+	net := NewNetwork(1, nil)
+	rec := &recorder{}
+	net.AddNode("a", HandlerFunc(func(NodeID, []byte) {}))
+	net.AddNode("b", rec)
+	net.AddFilter(func(from, to NodeID, p []byte) ([]byte, bool) {
+		if string(p) == "drop-me" {
+			return nil, true
+		}
+		if string(p) == "flip-me" {
+			return []byte("flipped"), false
+		}
+		return nil, false
+	})
+	net.Send("a", "b", []byte("drop-me"))
+	net.Send("a", "b", []byte("flip-me"))
+	net.Send("a", "b", []byte("keep"))
+	net.Run(100)
+	if len(rec.msgs) != 2 || rec.msgs[0] != "a:flipped" || rec.msgs[1] != "a:keep" {
+		t.Fatalf("msgs = %v", rec.msgs)
+	}
+}
+
+func TestTimersFireInOrderAndCancel(t *testing.T) {
+	net := NewNetwork(1, nil)
+	var fired []int
+	net.After(3*time.Millisecond, func() { fired = append(fired, 3) })
+	net.After(1*time.Millisecond, func() { fired = append(fired, 1) })
+	tm := net.After(2*time.Millisecond, func() { fired = append(fired, 2) })
+	tm.Stop()
+	net.Run(100)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestReentrantSendFromHandler(t *testing.T) {
+	net := NewNetwork(1, nil)
+	rec := &recorder{}
+	net.AddNode("c", rec)
+	net.AddNode("b", HandlerFunc(func(from NodeID, p []byte) {
+		net.Send("b", "c", append([]byte("fwd:"), p...))
+	}))
+	net.AddNode("a", HandlerFunc(func(NodeID, []byte) {}))
+	net.Send("a", "b", []byte("x"))
+	net.Run(100)
+	if len(rec.msgs) != 1 || rec.msgs[0] != "b:fwd:x" {
+		t.Fatalf("msgs = %v", rec.msgs)
+	}
+}
+
+func TestRemoveNodeSimulatesCrash(t *testing.T) {
+	net := NewNetwork(1, nil)
+	rec := &recorder{}
+	net.AddNode("a", HandlerFunc(func(NodeID, []byte) {}))
+	net.AddNode("b", rec)
+	net.Send("a", "b", []byte("one"))
+	net.RemoveNode("b")
+	net.Run(100)
+	if len(rec.msgs) != 0 {
+		t.Fatalf("crashed node received message")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	net := NewNetwork(7, nil)
+	count := 0
+	net.AddNode("a", HandlerFunc(func(NodeID, []byte) {}))
+	net.AddNode("b", HandlerFunc(func(NodeID, []byte) { count++ }))
+	net.SetDropRate(0.5)
+	for i := 0; i < 1000; i++ {
+		net.Send("a", "b", []byte{1})
+	}
+	net.Run(10000)
+	if count < 300 || count > 700 {
+		t.Fatalf("with 50%% drop, delivered %d of 1000", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	net := NewNetwork(1, nil)
+	done := false
+	net.AddNode("b", HandlerFunc(func(NodeID, []byte) { done = true }))
+	net.AddNode("a", HandlerFunc(func(NodeID, []byte) {}))
+	net.Send("a", "b", nil)
+	if err := net.RunUntil(func() bool { return done }, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunUntil(func() bool { return false }, 10); err == nil {
+		t.Fatal("expected failure when condition can never hold")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	net := NewNetwork(1, ConstantLatency(5*time.Millisecond))
+	got := 0
+	net.AddNode("a", HandlerFunc(func(NodeID, []byte) {}))
+	net.AddNode("b", HandlerFunc(func(NodeID, []byte) { got++ }))
+	net.Send("a", "b", nil)
+	net.RunFor(2 * time.Millisecond)
+	if got != 0 {
+		t.Fatal("message delivered too early")
+	}
+	net.RunFor(5 * time.Millisecond)
+	if got != 1 {
+		t.Fatal("message not delivered by deadline")
+	}
+	if net.Now() != 7*time.Millisecond {
+		t.Fatalf("clock = %v, want 7ms", net.Now())
+	}
+}
+
+func TestGroupMembershipChanges(t *testing.T) {
+	net := NewNetwork(1, nil)
+	counts := map[NodeID]int{}
+	for _, id := range []NodeID{"a", "b"} {
+		id := id
+		net.AddNode(id, HandlerFunc(func(NodeID, []byte) { counts[id]++ }))
+		net.JoinGroup("g", id)
+	}
+	net.JoinGroup("g", "a") // duplicate join is a no-op
+	if len(net.GroupMembers("g")) != 2 {
+		t.Fatalf("members = %v", net.GroupMembers("g"))
+	}
+	net.LeaveGroup("g", "b")
+	net.Multicast("a", "g", []byte("m"))
+	net.Run(100)
+	if counts["a"] != 1 || counts["b"] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,169 @@
+package pbft
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+// ClientEnv is the world a PBFT client talks to.
+type ClientEnv interface {
+	// SendReplica transmits data to one replica of the target group.
+	SendReplica(to ReplicaID, data []byte)
+	// Broadcast transmits data to every replica of the target group.
+	Broadcast(data []byte)
+	// SetTimer (re)arms the retransmission timer.
+	SetTimer(d time.Duration)
+	// StopTimer disarms the retransmission timer.
+	StopTimer()
+}
+
+// ClientConfig parameterises a PBFT client.
+type ClientConfig struct {
+	// ID is the client's authentication identity.
+	ID string
+	// ReplyAddr is the transport address replicas send replies to.
+	ReplyAddr string
+	// N, F describe the target replica group.
+	N, F int
+	// RetransmitTimeout is the base request retransmission timeout.
+	RetransmitTimeout time.Duration
+	// Auth signs requests and verifies replies.
+	Auth Authenticator
+}
+
+func (c *ClientConfig) fill() error {
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = 300 * time.Millisecond
+	}
+	if c.N < 3*c.F+1 {
+		return fmt.Errorf("pbft: client config: n=%d < 3f+1 (f=%d)", c.N, c.F)
+	}
+	if c.Auth == nil {
+		return fmt.Errorf("pbft: client config requires an Authenticator")
+	}
+	return nil
+}
+
+type pendingInvocation struct {
+	seq     uint64
+	data    []byte
+	replies map[ReplicaID]*Reply
+	timeout time.Duration
+}
+
+// Client issues totally-ordered operations against a replica group and
+// accepts a result once f+1 replicas return matching replies (the
+// Castro–Liskov client rule the paper describes in §3.1).
+//
+// Like the replica, the client is event-driven and single-threaded: drive
+// it with HandleMessage and HandleTimer. One invocation may be outstanding
+// at a time — this is also ITDOS's concurrency model ("only one
+// outstanding request can exist for a connection", §3.6).
+type Client struct {
+	cfg     ClientConfig
+	env     ClientEnv
+	seq     uint64
+	primary ReplicaID
+	pending *pendingInvocation
+
+	// OnResult receives the accepted result for each invocation.
+	OnResult func(clientSeq uint64, result []byte)
+}
+
+// NewClient constructs a client over env.
+func NewClient(cfg ClientConfig, env ClientEnv) (*Client, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg, env: env}, nil
+}
+
+// Busy reports whether an invocation is outstanding.
+func (c *Client) Busy() bool { return c.pending != nil }
+
+// LastSeq returns the most recently assigned client sequence number.
+func (c *Client) LastSeq() uint64 { return c.seq }
+
+// Invoke submits op for total ordering. It returns the client sequence
+// number identifying the invocation; the result arrives via OnResult.
+func (c *Client) Invoke(op []byte) (uint64, error) {
+	if c.pending != nil {
+		return 0, fmt.Errorf("pbft: client %s already has request %d outstanding",
+			c.cfg.ID, c.pending.seq)
+	}
+	c.seq++
+	req := &Request{
+		ClientID:  c.cfg.ID,
+		ClientSeq: c.seq,
+		Op:        op,
+		ReplyTo:   c.cfg.ReplyAddr,
+	}
+	SignMessage(c.cfg.Auth, req)
+	data := Encode(req)
+	c.pending = &pendingInvocation{
+		seq:     c.seq,
+		data:    data,
+		replies: make(map[ReplicaID]*Reply),
+		timeout: c.cfg.RetransmitTimeout,
+	}
+	c.env.SendReplica(c.primary, data)
+	c.env.SetTimer(c.pending.timeout)
+	return c.seq, nil
+}
+
+// HandleMessage processes a wire message (expected: Reply).
+func (c *Client) HandleMessage(data []byte) {
+	m, err := Decode(data)
+	if err != nil {
+		return
+	}
+	reply, ok := m.(*Reply)
+	if !ok || !VerifyMessage(c.cfg.Auth, reply) {
+		return
+	}
+	c.onReply(reply)
+}
+
+func (c *Client) onReply(reply *Reply) {
+	p := c.pending
+	if p == nil || reply.ClientID != c.cfg.ID || reply.ClientSeq != p.seq {
+		return
+	}
+	if int(reply.Replica) >= c.cfg.N {
+		return
+	}
+	p.replies[reply.Replica] = reply
+	// Track the current primary so the next request goes to the right
+	// replica first.
+	c.primary = ReplicaID(reply.View % uint64(c.cfg.N))
+
+	// Accept once f+1 distinct replicas agree on the result bytes.
+	count := 0
+	for _, other := range p.replies {
+		if bytes.Equal(other.Result, reply.Result) {
+			count++
+		}
+	}
+	if count < c.cfg.F+1 {
+		return
+	}
+	c.pending = nil
+	c.env.StopTimer()
+	if c.OnResult != nil {
+		c.OnResult(reply.ClientSeq, reply.Result)
+	}
+}
+
+// HandleTimer retransmits the outstanding request to the whole group (the
+// client cannot know which replica is a correct primary, so after a timeout
+// it multicasts, per Castro–Liskov).
+func (c *Client) HandleTimer() {
+	p := c.pending
+	if p == nil {
+		return
+	}
+	c.env.Broadcast(p.data)
+	p.timeout *= 2
+	c.env.SetTimer(p.timeout)
+}

@@ -1,0 +1,47 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+
+	"itdos/internal/netsim"
+)
+
+func TestDebugLagging(t *testing.T) {
+	h := newHarness(t, 4, 1, 9)
+	lagged := h.group.Addrs[3]
+	others := h.group.Addrs[:3]
+	h.net.Partition([]netsim.NodeID{lagged}, others)
+	h.net.Partition([]netsim.NodeID{lagged}, []netsim.NodeID{"client/test"})
+	for i := 0; i < 9; i++ {
+		seq, err := h.client.Invoke([]byte(fmt.Sprintf("op-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := h.net.Stats().MessagesSent
+		if err := h.net.RunUntil(func() bool { _, ok := h.results[seq]; return ok }, 500_000); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		fmt.Printf("op %d done, msgs used %d, now=%v\n", i,
+			h.net.Stats().MessagesSent-before, h.net.Now())
+	}
+	h.net.Heal()
+	for i := 9; i < 14; i++ {
+		seq, err := h.client.Invoke([]byte(fmt.Sprintf("op-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := h.net.Stats().MessagesSent
+		if err := h.net.RunUntil(func() bool { _, ok := h.results[seq]; return ok }, 500_000); err != nil {
+			t.Fatalf("op %d: %v (r3 view=%d invc=%v lastExec=%d)", i,
+				err, h.group.Replicas[3].view, h.group.Replicas[3].inViewChange,
+				h.group.Replicas[3].lastExec)
+		}
+		fmt.Printf("op %d done, msgs used %d, now=%v r3exec=%d\n", i,
+			h.net.Stats().MessagesSent-before, h.net.Now(), h.group.Replicas[3].lastExec)
+	}
+	h.net.Run(500_000)
+	fmt.Printf("final r3: view=%d invc=%v lastExec=%d stable=%d\n",
+		h.group.Replicas[3].view, h.group.Replicas[3].inViewChange,
+		h.group.Replicas[3].lastExec, h.group.Replicas[3].lowWater)
+}

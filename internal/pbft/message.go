@@ -1,0 +1,761 @@
+// Package pbft implements the Castro–Liskov Practical Byzantine Fault
+// Tolerance protocol (OSDI'99 / OSDI'00), the "Secure Reliable Multicast"
+// substrate ITDOS integrates under its ORB (paper §3.1).
+//
+// The implementation follows the published protocol: three-phase ordering
+// (pre-prepare / prepare / commit) within a view, periodic checkpoints with
+// 2f+1 signed proofs, log truncation at stable checkpoints, watermark
+// windows, view changes with prepared-certificate carryover, and state
+// transfer for replicas that fall behind. Clients accept a result once f+1
+// replicas return matching replies.
+//
+// Replicas and clients are event-driven state machines: they consume
+// messages and timer expirations and emit messages through an Env. The same
+// code therefore runs on the deterministic simulator (internal/netsim) and
+// on a live goroutine/TCP environment.
+package pbft
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"itdos/internal/cdr"
+)
+
+// ReplicaID indexes a replica within its group, 0..n-1.
+type ReplicaID int
+
+// Digest is a SHA-256 digest of a message's canonical encoding.
+type Digest [32]byte
+
+// NullDigest marks a null request (ordered but not executed), used to fill
+// sequence gaps during view changes.
+var NullDigest Digest
+
+// IsNull reports whether the digest is the null request digest.
+func (d Digest) IsNull() bool { return d == NullDigest }
+
+// String returns a short hex prefix for logs.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:4]) }
+
+// MsgType tags the PBFT wire messages.
+type MsgType byte
+
+// PBFT message types.
+const (
+	MTRequest MsgType = iota + 1
+	MTPrePrepare
+	MTPrepare
+	MTCommit
+	MTReply
+	MTCheckpoint
+	MTViewChange
+	MTNewView
+	MTFetchState
+	MTStateData
+	MTFetchEntry
+)
+
+var mtNames = map[MsgType]string{
+	MTRequest:    "REQUEST",
+	MTPrePrepare: "PRE-PREPARE",
+	MTPrepare:    "PREPARE",
+	MTCommit:     "COMMIT",
+	MTReply:      "REPLY",
+	MTCheckpoint: "CHECKPOINT",
+	MTViewChange: "VIEW-CHANGE",
+	MTNewView:    "NEW-VIEW",
+	MTFetchState: "FETCH-STATE",
+	MTStateData:  "STATE-DATA",
+	MTFetchEntry: "FETCH-ENTRY",
+}
+
+// String returns the protocol name of the message type.
+func (t MsgType) String() string {
+	if s, ok := mtNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// Message is the interface satisfied by all PBFT wire messages. The
+// canonical encoding (big-endian CDR) is the input to signatures and
+// digests, so it must be deterministic.
+type Message interface {
+	Type() MsgType
+	marshal(e *cdr.Encoder)
+	unmarshal(d *cdr.Decoder) error
+	// sigRef returns the signature field so generic sign/verify helpers can
+	// exclude it from the signed bytes.
+	sigRef() *[]byte
+	// SenderKey returns the authentication identity of the sender
+	// ("replica:3" or a client id).
+	SenderKey() string
+}
+
+// Request is a client invocation to be totally ordered.
+type Request struct {
+	// ClientID is the authentication identity of the requester.
+	ClientID string
+	// ClientSeq is the client-local timestamp; replicas execute each
+	// (ClientID, ClientSeq) at most once.
+	ClientSeq uint64
+	// Op is the opaque operation handed to the application on execution.
+	Op []byte
+	// ReplyTo is the transport address replies are sent to.
+	ReplyTo string
+	// Sig is the client's signature.
+	Sig []byte
+}
+
+// Type implements Message.
+func (*Request) Type() MsgType { return MTRequest }
+
+func (m *Request) marshal(e *cdr.Encoder) {
+	e.WriteString(m.ClientID)
+	e.WriteULongLong(m.ClientSeq)
+	e.WriteOctets(m.Op)
+	e.WriteString(m.ReplyTo)
+	e.WriteOctets(m.Sig)
+}
+
+func (m *Request) unmarshal(d *cdr.Decoder) error {
+	var err error
+	if m.ClientID, err = d.ReadString(); err != nil {
+		return err
+	}
+	if m.ClientSeq, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if m.Op, err = readOctetsCopy(d); err != nil {
+		return err
+	}
+	if m.ReplyTo, err = d.ReadString(); err != nil {
+		return err
+	}
+	m.Sig, err = readOctetsCopy(d)
+	return err
+}
+
+func (m *Request) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *Request) SenderKey() string { return m.ClientID }
+
+// Digest returns the request's canonical digest (over the full encoding,
+// signature included, so a forged signature changes the digest).
+func (m *Request) Digest() Digest {
+	return sha256.Sum256(Encode(m))
+}
+
+// PrePrepare is the primary's ordering proposal for a request at (View, Seq).
+type PrePrepare struct {
+	View    uint64
+	Seq     uint64
+	Digest  Digest
+	Request *Request // piggybacked request; nil when Digest.IsNull()
+	Replica ReplicaID
+	Sig     []byte
+}
+
+// Type implements Message.
+func (*PrePrepare) Type() MsgType { return MTPrePrepare }
+
+func (m *PrePrepare) marshal(e *cdr.Encoder) {
+	e.WriteULongLong(m.View)
+	e.WriteULongLong(m.Seq)
+	e.WriteOctets(m.Digest[:])
+	if m.Request != nil {
+		e.WriteBoolean(true)
+		m.Request.marshal(e)
+	} else {
+		e.WriteBoolean(false)
+	}
+	e.WriteLong(int32(m.Replica))
+	e.WriteOctets(m.Sig)
+}
+
+func (m *PrePrepare) unmarshal(d *cdr.Decoder) error {
+	var err error
+	if m.View, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if m.Seq, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if err = readDigest(d, &m.Digest); err != nil {
+		return err
+	}
+	hasReq, err := d.ReadBoolean()
+	if err != nil {
+		return err
+	}
+	if hasReq {
+		m.Request = &Request{}
+		if err = m.Request.unmarshal(d); err != nil {
+			return err
+		}
+	}
+	if err = readReplica(d, &m.Replica); err != nil {
+		return err
+	}
+	m.Sig, err = readOctetsCopy(d)
+	return err
+}
+
+func (m *PrePrepare) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *PrePrepare) SenderKey() string { return replicaKey(m.Replica) }
+
+// Prepare is a backup's agreement to order Digest at (View, Seq).
+type Prepare struct {
+	View    uint64
+	Seq     uint64
+	Digest  Digest
+	Replica ReplicaID
+	Sig     []byte
+}
+
+// Type implements Message.
+func (*Prepare) Type() MsgType { return MTPrepare }
+
+func (m *Prepare) marshal(e *cdr.Encoder) { marshalPhase(e, m.View, m.Seq, m.Digest, m.Replica, m.Sig) }
+func (m *Prepare) unmarshal(d *cdr.Decoder) error {
+	return unmarshalPhase(d, &m.View, &m.Seq, &m.Digest, &m.Replica, &m.Sig)
+}
+func (m *Prepare) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *Prepare) SenderKey() string { return replicaKey(m.Replica) }
+
+// Commit finalises ordering of Digest at (View, Seq).
+type Commit struct {
+	View    uint64
+	Seq     uint64
+	Digest  Digest
+	Replica ReplicaID
+	Sig     []byte
+}
+
+// Type implements Message.
+func (*Commit) Type() MsgType { return MTCommit }
+
+func (m *Commit) marshal(e *cdr.Encoder) { marshalPhase(e, m.View, m.Seq, m.Digest, m.Replica, m.Sig) }
+func (m *Commit) unmarshal(d *cdr.Decoder) error {
+	return unmarshalPhase(d, &m.View, &m.Seq, &m.Digest, &m.Replica, &m.Sig)
+}
+func (m *Commit) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *Commit) SenderKey() string { return replicaKey(m.Replica) }
+
+// Reply carries a replica's execution result back to the client. The client
+// accepts a result supported by f+1 matching replies.
+type Reply struct {
+	View      uint64
+	ClientID  string
+	ClientSeq uint64
+	Replica   ReplicaID
+	Result    []byte
+	Sig       []byte
+}
+
+// Type implements Message.
+func (*Reply) Type() MsgType { return MTReply }
+
+func (m *Reply) marshal(e *cdr.Encoder) {
+	e.WriteULongLong(m.View)
+	e.WriteString(m.ClientID)
+	e.WriteULongLong(m.ClientSeq)
+	e.WriteLong(int32(m.Replica))
+	e.WriteOctets(m.Result)
+	e.WriteOctets(m.Sig)
+}
+
+func (m *Reply) unmarshal(d *cdr.Decoder) error {
+	var err error
+	if m.View, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if m.ClientID, err = d.ReadString(); err != nil {
+		return err
+	}
+	if m.ClientSeq, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if err = readReplica(d, &m.Replica); err != nil {
+		return err
+	}
+	if m.Result, err = readOctetsCopy(d); err != nil {
+		return err
+	}
+	m.Sig, err = readOctetsCopy(d)
+	return err
+}
+
+func (m *Reply) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *Reply) SenderKey() string { return replicaKey(m.Replica) }
+
+// Checkpoint attests that the sender's application state at Seq has
+// StateDigest. 2f+1 matching checkpoints make the checkpoint stable.
+type Checkpoint struct {
+	Seq         uint64
+	StateDigest Digest
+	Replica     ReplicaID
+	Sig         []byte
+}
+
+// Type implements Message.
+func (*Checkpoint) Type() MsgType { return MTCheckpoint }
+
+func (m *Checkpoint) marshal(e *cdr.Encoder) {
+	e.WriteULongLong(m.Seq)
+	e.WriteOctets(m.StateDigest[:])
+	e.WriteLong(int32(m.Replica))
+	e.WriteOctets(m.Sig)
+}
+
+func (m *Checkpoint) unmarshal(d *cdr.Decoder) error {
+	var err error
+	if m.Seq, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if err = readDigest(d, &m.StateDigest); err != nil {
+		return err
+	}
+	if err = readReplica(d, &m.Replica); err != nil {
+		return err
+	}
+	m.Sig, err = readOctetsCopy(d)
+	return err
+}
+
+func (m *Checkpoint) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *Checkpoint) SenderKey() string { return replicaKey(m.Replica) }
+
+// PreparedProof is a prepared certificate: a pre-prepare plus 2f matching
+// prepares, carried inside view changes.
+type PreparedProof struct {
+	PrePrepare *PrePrepare
+	Prepares   []*Prepare
+}
+
+func (p *PreparedProof) marshal(e *cdr.Encoder) {
+	p.PrePrepare.marshal(e)
+	e.WriteULong(uint32(len(p.Prepares)))
+	for _, pr := range p.Prepares {
+		pr.marshal(e)
+	}
+}
+
+func (p *PreparedProof) unmarshal(d *cdr.Decoder) error {
+	p.PrePrepare = &PrePrepare{}
+	if err := p.PrePrepare.unmarshal(d); err != nil {
+		return err
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	if n > maxProofEntries {
+		return fmt.Errorf("pbft: implausible prepare count %d", n)
+	}
+	p.Prepares = make([]*Prepare, n)
+	for i := range p.Prepares {
+		p.Prepares[i] = &Prepare{}
+		if err := p.Prepares[i].unmarshal(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ViewChange asks to install NewView, carrying the sender's stable
+// checkpoint proof and its prepared certificates above it.
+type ViewChange struct {
+	NewView         uint64
+	LastStable      uint64
+	CheckpointProof []*Checkpoint
+	Prepared        []*PreparedProof
+	Replica         ReplicaID
+	Sig             []byte
+}
+
+// Type implements Message.
+func (*ViewChange) Type() MsgType { return MTViewChange }
+
+func (m *ViewChange) marshal(e *cdr.Encoder) {
+	e.WriteULongLong(m.NewView)
+	e.WriteULongLong(m.LastStable)
+	e.WriteULong(uint32(len(m.CheckpointProof)))
+	for _, c := range m.CheckpointProof {
+		c.marshal(e)
+	}
+	e.WriteULong(uint32(len(m.Prepared)))
+	for _, p := range m.Prepared {
+		p.marshal(e)
+	}
+	e.WriteLong(int32(m.Replica))
+	e.WriteOctets(m.Sig)
+}
+
+func (m *ViewChange) unmarshal(d *cdr.Decoder) error {
+	var err error
+	if m.NewView, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if m.LastStable, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	nc, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	if nc > maxProofEntries {
+		return fmt.Errorf("pbft: implausible checkpoint count %d", nc)
+	}
+	m.CheckpointProof = make([]*Checkpoint, nc)
+	for i := range m.CheckpointProof {
+		m.CheckpointProof[i] = &Checkpoint{}
+		if err := m.CheckpointProof[i].unmarshal(d); err != nil {
+			return err
+		}
+	}
+	np, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	if np > maxProofEntries {
+		return fmt.Errorf("pbft: implausible prepared-proof count %d", np)
+	}
+	m.Prepared = make([]*PreparedProof, np)
+	for i := range m.Prepared {
+		m.Prepared[i] = &PreparedProof{}
+		if err := m.Prepared[i].unmarshal(d); err != nil {
+			return err
+		}
+	}
+	if err = readReplica(d, &m.Replica); err != nil {
+		return err
+	}
+	m.Sig, err = readOctetsCopy(d)
+	return err
+}
+
+func (m *ViewChange) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *ViewChange) SenderKey() string { return replicaKey(m.Replica) }
+
+// NewView installs View: it proves 2f+1 replicas requested the change and
+// re-proposes in-flight requests so no committed request is lost.
+type NewView struct {
+	View        uint64
+	ViewChanges []*ViewChange
+	PrePrepares []*PrePrepare
+	Replica     ReplicaID
+	Sig         []byte
+}
+
+// Type implements Message.
+func (*NewView) Type() MsgType { return MTNewView }
+
+func (m *NewView) marshal(e *cdr.Encoder) {
+	e.WriteULongLong(m.View)
+	e.WriteULong(uint32(len(m.ViewChanges)))
+	for _, vc := range m.ViewChanges {
+		vc.marshal(e)
+	}
+	e.WriteULong(uint32(len(m.PrePrepares)))
+	for _, pp := range m.PrePrepares {
+		pp.marshal(e)
+	}
+	e.WriteLong(int32(m.Replica))
+	e.WriteOctets(m.Sig)
+}
+
+func (m *NewView) unmarshal(d *cdr.Decoder) error {
+	var err error
+	if m.View, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	nv, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	if nv > maxProofEntries {
+		return fmt.Errorf("pbft: implausible view-change count %d", nv)
+	}
+	m.ViewChanges = make([]*ViewChange, nv)
+	for i := range m.ViewChanges {
+		m.ViewChanges[i] = &ViewChange{}
+		if err := m.ViewChanges[i].unmarshal(d); err != nil {
+			return err
+		}
+	}
+	np, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	if np > maxProofEntries {
+		return fmt.Errorf("pbft: implausible pre-prepare count %d", np)
+	}
+	m.PrePrepares = make([]*PrePrepare, np)
+	for i := range m.PrePrepares {
+		m.PrePrepares[i] = &PrePrepare{}
+		if err := m.PrePrepares[i].unmarshal(d); err != nil {
+			return err
+		}
+	}
+	if err = readReplica(d, &m.Replica); err != nil {
+		return err
+	}
+	m.Sig, err = readOctetsCopy(d)
+	return err
+}
+
+func (m *NewView) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *NewView) SenderKey() string { return replicaKey(m.Replica) }
+
+// FetchState requests the snapshot at the sender's peer's stable checkpoint
+// at or above Seq (state transfer for lagging replicas).
+type FetchState struct {
+	Seq     uint64
+	Replica ReplicaID
+	Sig     []byte
+}
+
+// Type implements Message.
+func (*FetchState) Type() MsgType { return MTFetchState }
+
+func (m *FetchState) marshal(e *cdr.Encoder) {
+	e.WriteULongLong(m.Seq)
+	e.WriteLong(int32(m.Replica))
+	e.WriteOctets(m.Sig)
+}
+
+func (m *FetchState) unmarshal(d *cdr.Decoder) error {
+	var err error
+	if m.Seq, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if err = readReplica(d, &m.Replica); err != nil {
+		return err
+	}
+	m.Sig, err = readOctetsCopy(d)
+	return err
+}
+
+func (m *FetchState) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *FetchState) SenderKey() string { return replicaKey(m.Replica) }
+
+// StateData carries a snapshot plus its stable-checkpoint proof.
+type StateData struct {
+	Seq      uint64
+	Snapshot []byte
+	Proof    []*Checkpoint
+	Replica  ReplicaID
+	Sig      []byte
+}
+
+// Type implements Message.
+func (*StateData) Type() MsgType { return MTStateData }
+
+func (m *StateData) marshal(e *cdr.Encoder) {
+	e.WriteULongLong(m.Seq)
+	e.WriteOctets(m.Snapshot)
+	e.WriteULong(uint32(len(m.Proof)))
+	for _, c := range m.Proof {
+		c.marshal(e)
+	}
+	e.WriteLong(int32(m.Replica))
+	e.WriteOctets(m.Sig)
+}
+
+func (m *StateData) unmarshal(d *cdr.Decoder) error {
+	var err error
+	if m.Seq, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if m.Snapshot, err = readOctetsCopy(d); err != nil {
+		return err
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	if n > maxProofEntries {
+		return fmt.Errorf("pbft: implausible proof count %d", n)
+	}
+	m.Proof = make([]*Checkpoint, n)
+	for i := range m.Proof {
+		m.Proof[i] = &Checkpoint{}
+		if err := m.Proof[i].unmarshal(d); err != nil {
+			return err
+		}
+	}
+	if err = readReplica(d, &m.Replica); err != nil {
+		return err
+	}
+	m.Sig, err = readOctetsCopy(d)
+	return err
+}
+
+func (m *StateData) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *StateData) SenderKey() string { return replicaKey(m.Replica) }
+
+// FetchEntry asks a peer to retransmit the pre-prepare it holds for
+// (View, Seq). It implements the message-retransmission mechanism of the
+// PBFT paper (§4.5): a replica that observes f+1 commits for a sequence it
+// has no pre-prepare for recovers the proposal from the committers.
+type FetchEntry struct {
+	View    uint64
+	Seq     uint64
+	Replica ReplicaID
+	Sig     []byte
+}
+
+// Type implements Message.
+func (*FetchEntry) Type() MsgType { return MTFetchEntry }
+
+func (m *FetchEntry) marshal(e *cdr.Encoder) {
+	e.WriteULongLong(m.View)
+	e.WriteULongLong(m.Seq)
+	e.WriteLong(int32(m.Replica))
+	e.WriteOctets(m.Sig)
+}
+
+func (m *FetchEntry) unmarshal(d *cdr.Decoder) error {
+	var err error
+	if m.View, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if m.Seq, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if err = readReplica(d, &m.Replica); err != nil {
+		return err
+	}
+	m.Sig, err = readOctetsCopy(d)
+	return err
+}
+
+func (m *FetchEntry) sigRef() *[]byte { return &m.Sig }
+
+// SenderKey implements Message.
+func (m *FetchEntry) SenderKey() string { return replicaKey(m.Replica) }
+
+// maxProofEntries bounds repeated-element counts during decoding so a
+// Byzantine sender cannot trigger huge allocations.
+const maxProofEntries = 4096
+
+// Encode serialises a message with its type tag in canonical (big-endian)
+// CDR. The encoding is deterministic: it is the input to signatures and
+// digests.
+func Encode(m Message) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(byte(m.Type()))
+	m.marshal(e)
+	return e.Bytes()
+}
+
+// Decode parses a message from its canonical encoding. It never panics on
+// malformed input.
+func Decode(buf []byte) (Message, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	tag, err := d.ReadOctet()
+	if err != nil {
+		return nil, fmt.Errorf("pbft: decode: %w", err)
+	}
+	var m Message
+	switch MsgType(tag) {
+	case MTRequest:
+		m = &Request{}
+	case MTPrePrepare:
+		m = &PrePrepare{}
+	case MTPrepare:
+		m = &Prepare{}
+	case MTCommit:
+		m = &Commit{}
+	case MTReply:
+		m = &Reply{}
+	case MTCheckpoint:
+		m = &Checkpoint{}
+	case MTViewChange:
+		m = &ViewChange{}
+	case MTNewView:
+		m = &NewView{}
+	case MTFetchState:
+		m = &FetchState{}
+	case MTStateData:
+		m = &StateData{}
+	case MTFetchEntry:
+		m = &FetchEntry{}
+	default:
+		return nil, fmt.Errorf("pbft: unknown message type %d", tag)
+	}
+	if err := m.unmarshal(d); err != nil {
+		return nil, fmt.Errorf("pbft: decode %s: %w", MsgType(tag), err)
+	}
+	return m, nil
+}
+
+// signingBytes returns the canonical encoding with the signature zeroed —
+// the byte string signatures cover.
+func signingBytes(m Message) []byte {
+	ref := m.sigRef()
+	saved := *ref
+	*ref = nil
+	b := Encode(m)
+	*ref = saved
+	return b
+}
+
+// replicaKey returns the authentication identity for a replica id.
+func replicaKey(id ReplicaID) string { return fmt.Sprintf("replica:%d", id) }
+
+func readDigest(d *cdr.Decoder, out *Digest) error {
+	b, err := d.ReadOctets()
+	if err != nil {
+		return err
+	}
+	if len(b) != len(out) {
+		return fmt.Errorf("pbft: digest length %d, want %d", len(b), len(out))
+	}
+	copy(out[:], b)
+	return nil
+}
+
+func readReplica(d *cdr.Decoder, out *ReplicaID) error {
+	v, err := d.ReadLong()
+	if err != nil {
+		return err
+	}
+	if v < 0 || v > 1<<20 {
+		return fmt.Errorf("pbft: implausible replica id %d", v)
+	}
+	*out = ReplicaID(v)
+	return nil
+}
+
+func readOctetsCopy(d *cdr.Decoder) ([]byte, error) {
+	b, err := d.ReadOctets()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return append([]byte(nil), b...), nil
+}

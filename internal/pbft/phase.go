@@ -1,0 +1,32 @@
+package pbft
+
+import "itdos/internal/cdr"
+
+// marshalPhase encodes the common (view, seq, digest, replica, sig) shape
+// shared by Prepare and Commit.
+func marshalPhase(e *cdr.Encoder, view, seq uint64, digest Digest, replica ReplicaID, sig []byte) {
+	e.WriteULongLong(view)
+	e.WriteULongLong(seq)
+	e.WriteOctets(digest[:])
+	e.WriteLong(int32(replica))
+	e.WriteOctets(sig)
+}
+
+// unmarshalPhase decodes the common phase-message shape.
+func unmarshalPhase(d *cdr.Decoder, view, seq *uint64, digest *Digest, replica *ReplicaID, sig *[]byte) error {
+	var err error
+	if *view, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if *seq, err = d.ReadULongLong(); err != nil {
+		return err
+	}
+	if err = readDigest(d, digest); err != nil {
+		return err
+	}
+	if err = readReplica(d, replica); err != nil {
+		return err
+	}
+	*sig, err = readOctetsCopy(d)
+	return err
+}

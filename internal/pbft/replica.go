@@ -1,0 +1,830 @@
+package pbft
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"time"
+
+	"itdos/internal/cdr"
+)
+
+// App is the replicated state machine PBFT drives. In ITDOS the App is the
+// SRM message queue (paper §3.1); in tests it is whatever deterministic
+// machine the test needs.
+//
+// Execute must be deterministic: given the same sequence of operations,
+// every correct replica must produce the same results and the same
+// Snapshot bytes.
+type App interface {
+	// Execute applies one totally-ordered operation and returns its
+	// result. clientID is the authenticated identity of the requester
+	// (verified by the client-signature check on the request).
+	Execute(clientID string, op []byte) []byte
+	// Snapshot serialises the application state canonically.
+	Snapshot() []byte
+	// Restore replaces the application state from a snapshot.
+	Restore(snapshot []byte) error
+}
+
+// Env is the world a replica talks to. Implementations exist for the
+// deterministic simulator and for live transports; both must deliver
+// HandleMessage/HandleTimer calls from a single goroutine at a time.
+type Env interface {
+	// SendReplica transmits data to one peer replica.
+	SendReplica(to ReplicaID, data []byte)
+	// Broadcast transmits data to every replica except the sender.
+	Broadcast(data []byte)
+	// SendAddr transmits data to an arbitrary endpoint (client replies).
+	SendAddr(addr string, data []byte)
+	// SetTimer (re)arms the view-change timer.
+	SetTimer(d time.Duration)
+	// StopTimer disarms the view-change timer.
+	StopTimer()
+}
+
+// Config parameterises a replica group.
+type Config struct {
+	// N is the group size; F the failure bound. N must be at least 3F+1.
+	N, F int
+	// ID is this replica's index.
+	ID ReplicaID
+	// CheckpointInterval is K: a checkpoint is taken every K executions.
+	CheckpointInterval uint64
+	// WindowSize is L: the ordering window above the stable checkpoint.
+	// Must be at least 2*CheckpointInterval.
+	WindowSize uint64
+	// ViewTimeout is the base view-change timeout; it doubles on
+	// consecutive failed view changes and resets on progress.
+	ViewTimeout time.Duration
+	// Auth signs and verifies every message.
+	Auth Authenticator
+}
+
+func (c *Config) fill() error {
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 16
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 4 * c.CheckpointInterval
+	}
+	if c.ViewTimeout == 0 {
+		c.ViewTimeout = 500 * time.Millisecond
+	}
+	if c.N < 3*c.F+1 {
+		return fmt.Errorf("pbft: n=%d cannot tolerate f=%d (need n >= 3f+1)", c.N, c.F)
+	}
+	if c.ID < 0 || int(c.ID) >= c.N {
+		return fmt.Errorf("pbft: replica id %d out of range [0,%d)", c.ID, c.N)
+	}
+	if c.WindowSize < 2*c.CheckpointInterval {
+		return fmt.Errorf("pbft: window %d must be at least 2*checkpoint interval %d",
+			c.WindowSize, c.CheckpointInterval)
+	}
+	if c.Auth == nil {
+		return fmt.Errorf("pbft: config requires an Authenticator")
+	}
+	return nil
+}
+
+type entry struct {
+	prePrepare *PrePrepare
+	prepares   map[ReplicaID]*Prepare
+	commits    map[ReplicaID]*Commit
+	sentCommit bool
+	executed   bool
+	fetchedPP  bool
+}
+
+func newEntry() *entry {
+	return &entry{
+		prepares: make(map[ReplicaID]*Prepare),
+		commits:  make(map[ReplicaID]*Commit),
+	}
+}
+
+// clientRecord caches the last executed request per client for at-most-once
+// semantics and reply retransmission. Only deterministic data (sequence and
+// result bytes) is stored: the Reply wrapper carries per-replica fields
+// (replica id, signature) and is regenerated on demand, so checkpoint state
+// digests agree across replicas.
+type clientRecord struct {
+	seq      uint64
+	result   []byte
+	hasReply bool
+}
+
+// Replica is one PBFT group member. It is an event-driven state machine:
+// call HandleMessage and HandleTimer from a single-threaded driver (the
+// simulator or a live event loop).
+type Replica struct {
+	cfg Config
+	app App
+	env Env
+
+	view     uint64
+	seq      uint64 // highest sequence number assigned (primary only)
+	lastExec uint64
+	lowWater uint64
+
+	log         map[uint64]*entry
+	checkpoints map[uint64]map[ReplicaID]*Checkpoint
+	stableProof []*Checkpoint
+	snapshots   map[uint64][]byte
+	clientTable map[string]*clientRecord
+
+	// outstanding tracks forwarded-but-unexecuted request digests for
+	// view-change liveness.
+	outstanding map[Digest]*Request
+	// buffered holds requests the primary cannot order yet (window full).
+	buffered []*Request
+
+	inViewChange bool
+	vcTimeout    time.Duration
+	viewChanges  map[uint64]map[ReplicaID]*ViewChange
+	timerArmed   bool
+
+	// OnExecute, if set, observes every executed operation (used by SRM to
+	// deliver ordered messages and by tests to audit ordering).
+	OnExecute func(seq uint64, req *Request, result []byte)
+
+	// fetching dedupes concurrent state-transfer attempts.
+	fetching bool
+}
+
+// NewReplica constructs a replica over app and env.
+func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		cfg:         cfg,
+		app:         app,
+		env:         env,
+		log:         make(map[uint64]*entry),
+		checkpoints: make(map[uint64]map[ReplicaID]*Checkpoint),
+		snapshots:   make(map[uint64][]byte),
+		clientTable: make(map[string]*clientRecord),
+		outstanding: make(map[Digest]*Request),
+		viewChanges: make(map[uint64]map[ReplicaID]*ViewChange),
+		vcTimeout:   cfg.ViewTimeout,
+	}
+	// Seq 0 is the genesis stable checkpoint; its snapshot is the initial
+	// state so peers can bootstrap from it.
+	r.snapshots[0] = r.stateBytes()
+	return r, nil
+}
+
+// ID returns the replica's index.
+func (r *Replica) ID() ReplicaID { return r.cfg.ID }
+
+// View returns the current view number.
+func (r *Replica) View() uint64 { return r.view }
+
+// LastExecuted returns the highest executed sequence number.
+func (r *Replica) LastExecuted() uint64 { return r.lastExec }
+
+// StableCheckpoint returns the current stable checkpoint sequence.
+func (r *Replica) StableCheckpoint() uint64 { return r.lowWater }
+
+// InViewChange reports whether a view change is in progress.
+func (r *Replica) InViewChange() bool { return r.inViewChange }
+
+// Primary returns the primary of the given view.
+func (r *Replica) Primary(view uint64) ReplicaID {
+	return ReplicaID(view % uint64(r.cfg.N))
+}
+
+func (r *Replica) isPrimary() bool { return r.Primary(r.view) == r.cfg.ID }
+
+func (r *Replica) quorum() int { return 2*r.cfg.F + 1 }
+
+// HandleMessage decodes, authenticates and dispatches one wire message.
+// Malformed or badly-signed messages are dropped (Byzantine senders own
+// this code path; it must never panic or corrupt state).
+func (r *Replica) HandleMessage(data []byte) {
+	m, err := Decode(data)
+	if err != nil {
+		return
+	}
+	if !VerifyMessage(r.cfg.Auth, m) {
+		return
+	}
+	r.dispatch(m)
+}
+
+func (r *Replica) dispatch(m Message) {
+	switch msg := m.(type) {
+	case *Request:
+		r.onRequest(msg)
+	case *PrePrepare:
+		r.onPrePrepare(msg)
+	case *Prepare:
+		r.onPrepare(msg)
+	case *Commit:
+		r.onCommit(msg)
+	case *Checkpoint:
+		r.onCheckpoint(msg)
+	case *ViewChange:
+		r.onViewChange(msg)
+	case *NewView:
+		r.onNewView(msg)
+	case *FetchState:
+		r.onFetchState(msg)
+	case *StateData:
+		r.onStateData(msg)
+	case *FetchEntry:
+		r.onFetchEntry(msg)
+	}
+}
+
+// send signs m and transmits it to one replica.
+func (r *Replica) send(to ReplicaID, m Message) {
+	SignMessage(r.cfg.Auth, m)
+	r.env.SendReplica(to, Encode(m))
+}
+
+// broadcast signs m, transmits it to all peers, and returns it for local
+// processing.
+func (r *Replica) broadcast(m Message) Message {
+	SignMessage(r.cfg.Auth, m)
+	r.env.Broadcast(Encode(m))
+	return m
+}
+
+func (r *Replica) inWindow(seq uint64) bool {
+	return seq > r.lowWater && seq <= r.lowWater+r.cfg.WindowSize
+}
+
+func (r *Replica) entryAt(seq uint64) *entry {
+	en, ok := r.log[seq]
+	if !ok {
+		en = newEntry()
+		r.log[seq] = en
+	}
+	return en
+}
+
+// --- request handling ---
+
+func (r *Replica) onRequest(req *Request) {
+	rec := r.clientTable[req.ClientID]
+	if rec != nil && req.ClientSeq <= rec.seq {
+		// Already executed: retransmit the cached result for the latest
+		// request; drop stale ones.
+		if req.ClientSeq == rec.seq && rec.hasReply && req.ReplyTo != "" {
+			reply := &Reply{
+				View: r.view, ClientID: req.ClientID, ClientSeq: rec.seq,
+				Replica: r.cfg.ID, Result: rec.result,
+			}
+			SignMessage(r.cfg.Auth, reply)
+			r.env.SendAddr(req.ReplyTo, Encode(reply))
+		}
+		return
+	}
+	if r.inViewChange {
+		r.outstanding[req.Digest()] = req
+		return
+	}
+	if r.isPrimary() {
+		r.assignOrder(req)
+		return
+	}
+	// Backup: forward to the primary and arm the view-change timer so a
+	// faulty primary that suppresses the request is eventually replaced.
+	// The request is relayed verbatim — it carries the client's signature,
+	// which must not be clobbered.
+	d := req.Digest()
+	if _, dup := r.outstanding[d]; dup {
+		return
+	}
+	r.outstanding[d] = req
+	r.env.SendReplica(r.Primary(r.view), Encode(req))
+	r.armTimer()
+}
+
+func (r *Replica) assignOrder(req *Request) {
+	d := req.Digest()
+	// Don't order the same request twice (client retransmissions). Instead,
+	// retransmit the existing pre-prepare: a backup may have missed it
+	// (e.g. it raced ahead of the NEW-VIEW installing this view).
+	for _, en := range r.log {
+		if en.prePrepare != nil && en.prePrepare.Digest == d && !en.executed {
+			if en.prePrepare.View == r.view {
+				r.env.Broadcast(Encode(en.prePrepare))
+			}
+			return
+		}
+	}
+	if r.seq < r.lowWater {
+		r.seq = r.lowWater
+	}
+	if r.seq+1 > r.lowWater+r.cfg.WindowSize {
+		r.buffered = append(r.buffered, req)
+		return
+	}
+	r.seq++
+	r.outstanding[d] = req
+	pp := &PrePrepare{
+		View: r.view, Seq: r.seq, Digest: d,
+		Request: req, Replica: r.cfg.ID,
+	}
+	r.broadcast(pp)
+	r.acceptPrePrepare(pp)
+	r.armTimer()
+}
+
+func (r *Replica) drainBuffered() {
+	if !r.isPrimary() || r.inViewChange {
+		return
+	}
+	buf := r.buffered
+	r.buffered = nil
+	for _, req := range buf {
+		r.onRequest(req)
+	}
+}
+
+// --- three-phase ordering ---
+
+func (r *Replica) onPrePrepare(pp *PrePrepare) {
+	if r.inViewChange || pp.View != r.view || pp.Replica != r.Primary(r.view) {
+		return
+	}
+	if pp.Replica == r.cfg.ID {
+		return // primaries don't accept their own relayed pre-prepares
+	}
+	if !r.inWindow(pp.Seq) {
+		return
+	}
+	if pp.Request != nil {
+		if pp.Request.Digest() != pp.Digest {
+			return
+		}
+		if !VerifyMessage(r.cfg.Auth, pp.Request) {
+			return
+		}
+	} else if !pp.Digest.IsNull() {
+		return
+	}
+	en := r.entryAt(pp.Seq)
+	if en.prePrepare != nil {
+		if en.prePrepare.Digest != pp.Digest {
+			// Equivocating primary: demand a view change.
+			r.startViewChange(r.view + 1)
+			return
+		}
+		// Duplicate pre-prepare: the primary is retransmitting, so peers
+		// may have lost our phase messages — re-send them (PBFT message
+		// retransmission keeps the protocol live under loss).
+		if p, ok := en.prepares[r.cfg.ID]; ok {
+			r.env.Broadcast(Encode(p))
+		}
+		if c, ok := en.commits[r.cfg.ID]; ok {
+			r.env.Broadcast(Encode(c))
+		}
+		return
+	}
+	r.acceptPrePrepare(pp)
+	// Backup: agree to the ordering.
+	p := &Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.cfg.ID}
+	r.broadcast(p)
+	r.recordPrepare(p)
+	r.armTimer()
+}
+
+func (r *Replica) acceptPrePrepare(pp *PrePrepare) {
+	en := r.entryAt(pp.Seq)
+	en.prePrepare = pp
+	if pp.Request != nil {
+		r.outstanding[pp.Digest] = pp.Request
+	}
+	r.tryPrepared(pp.Seq)
+}
+
+func (r *Replica) onPrepare(p *Prepare) {
+	if r.inViewChange || p.View != r.view || !r.inWindow(p.Seq) {
+		return
+	}
+	if p.Replica == r.Primary(p.View) {
+		return // the primary's pre-prepare stands in for its prepare
+	}
+	r.recordPrepare(p)
+}
+
+func (r *Replica) recordPrepare(p *Prepare) {
+	en := r.entryAt(p.Seq)
+	if _, dup := en.prepares[p.Replica]; dup {
+		return
+	}
+	en.prepares[p.Replica] = p
+	r.tryPrepared(p.Seq)
+}
+
+// preparedDigest returns the digest and true when entry has a prepared
+// certificate: a pre-prepare plus 2f matching prepares from non-primary
+// replicas.
+func (r *Replica) preparedCount(en *entry) int {
+	if en.prePrepare == nil {
+		return 0
+	}
+	count := 0
+	for _, p := range en.prepares {
+		if p.Digest == en.prePrepare.Digest {
+			count++
+		}
+	}
+	return count
+}
+
+func (r *Replica) isPrepared(en *entry) bool {
+	return en.prePrepare != nil && r.preparedCount(en) >= 2*r.cfg.F
+}
+
+func (r *Replica) tryPrepared(seq uint64) {
+	en := r.entryAt(seq)
+	if !r.isPrepared(en) || en.sentCommit {
+		return
+	}
+	en.sentCommit = true
+	c := &Commit{View: r.view, Seq: seq, Digest: en.prePrepare.Digest, Replica: r.cfg.ID}
+	r.broadcast(c)
+	r.recordCommit(c)
+}
+
+func (r *Replica) onCommit(c *Commit) {
+	if r.inViewChange || c.View != r.view || !r.inWindow(c.Seq) {
+		return
+	}
+	r.recordCommit(c)
+}
+
+func (r *Replica) recordCommit(c *Commit) {
+	en := r.entryAt(c.Seq)
+	if _, dup := en.commits[c.Replica]; dup {
+		return
+	}
+	en.commits[c.Replica] = c
+	// Missing the proposal while f+1 (hence ≥1 correct) replicas commit it:
+	// recover the pre-prepare from a committer (PBFT message
+	// retransmission).
+	if en.prePrepare == nil && !en.fetchedPP && len(en.commits) > r.cfg.F {
+		en.fetchedPP = true
+		fe := &FetchEntry{View: c.View, Seq: c.Seq, Replica: r.cfg.ID}
+		SignMessage(r.cfg.Auth, fe)
+		data := Encode(fe)
+		sent := 0
+		for id := range en.commits {
+			if id == r.cfg.ID {
+				continue
+			}
+			r.env.SendReplica(id, data)
+			if sent++; sent > r.cfg.F {
+				break
+			}
+		}
+	}
+	r.tryExecute()
+}
+
+func (r *Replica) onFetchEntry(fe *FetchEntry) {
+	en, ok := r.log[fe.Seq]
+	if !ok || en.prePrepare == nil || en.prePrepare.View != fe.View {
+		return
+	}
+	r.env.SendReplica(fe.Replica, Encode(en.prePrepare))
+}
+
+func (r *Replica) isCommitted(en *entry) bool {
+	if !r.isPrepared(en) {
+		return false
+	}
+	count := 0
+	for _, c := range en.commits {
+		if c.Digest == en.prePrepare.Digest {
+			count++
+		}
+	}
+	return count >= r.quorum()
+}
+
+// --- execution and checkpoints ---
+
+func (r *Replica) tryExecute() {
+	for {
+		en, ok := r.log[r.lastExec+1]
+		if !ok || en.executed || !r.isCommitted(en) {
+			return
+		}
+		r.executeEntry(r.lastExec+1, en)
+	}
+}
+
+func (r *Replica) executeEntry(seq uint64, en *entry) {
+	en.executed = true
+	r.lastExec = seq
+	pp := en.prePrepare
+	if pp.Request != nil {
+		req := pp.Request
+		rec := r.clientTable[req.ClientID]
+		if rec == nil || req.ClientSeq > rec.seq {
+			result := r.app.Execute(req.ClientID, req.Op)
+			r.clientTable[req.ClientID] = &clientRecord{
+				seq: req.ClientSeq, result: result, hasReply: true,
+			}
+			if req.ReplyTo != "" {
+				reply := &Reply{
+					View: r.view, ClientID: req.ClientID, ClientSeq: req.ClientSeq,
+					Replica: r.cfg.ID, Result: result,
+				}
+				SignMessage(r.cfg.Auth, reply)
+				r.env.SendAddr(req.ReplyTo, Encode(reply))
+			}
+			if r.OnExecute != nil {
+				r.OnExecute(seq, req, result)
+			}
+		}
+		delete(r.outstanding, pp.Digest)
+	}
+	// Progress was made: reset view-change pressure.
+	r.vcTimeout = r.cfg.ViewTimeout
+	r.pruneOutstanding()
+	if len(r.outstanding) > 0 {
+		r.armTimerAlways()
+	}
+	if seq%r.cfg.CheckpointInterval == 0 {
+		r.takeCheckpoint(seq)
+	}
+}
+
+// stateBytes canonically serialises replica state: the application snapshot
+// plus the client table (needed for at-most-once semantics after state
+// transfer, as in Castro-Liskov where the client table is part of state).
+func (r *Replica) stateBytes() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctets(r.app.Snapshot())
+	ids := make([]string, 0, len(r.clientTable))
+	for id := range r.clientTable {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	e.WriteULong(uint32(len(ids)))
+	for _, id := range ids {
+		rec := r.clientTable[id]
+		e.WriteString(id)
+		e.WriteULongLong(rec.seq)
+		e.WriteBoolean(rec.hasReply)
+		e.WriteOctets(rec.result)
+	}
+	return e.Bytes()
+}
+
+func (r *Replica) restoreState(buf []byte) error {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	snap, err := d.ReadOctets()
+	if err != nil {
+		return fmt.Errorf("pbft: state snapshot: %w", err)
+	}
+	if err := r.app.Restore(append([]byte(nil), snap...)); err != nil {
+		return fmt.Errorf("pbft: app restore: %w", err)
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return fmt.Errorf("pbft: state client table: %w", err)
+	}
+	if n > maxProofEntries {
+		return fmt.Errorf("pbft: implausible client table size %d", n)
+	}
+	table := make(map[string]*clientRecord, n)
+	for i := 0; i < int(n); i++ {
+		id, err := d.ReadString()
+		if err != nil {
+			return err
+		}
+		seq, err := d.ReadULongLong()
+		if err != nil {
+			return err
+		}
+		hasReply, err := d.ReadBoolean()
+		if err != nil {
+			return err
+		}
+		result, err := d.ReadOctets()
+		if err != nil {
+			return err
+		}
+		table[id] = &clientRecord{
+			seq: seq, result: append([]byte(nil), result...), hasReply: hasReply,
+		}
+	}
+	r.clientTable = table
+	return nil
+}
+
+func (r *Replica) takeCheckpoint(seq uint64) {
+	state := r.stateBytes()
+	r.snapshots[seq] = state
+	c := &Checkpoint{Seq: seq, StateDigest: sha256.Sum256(state), Replica: r.cfg.ID}
+	r.broadcast(c)
+	r.recordCheckpoint(c)
+}
+
+func (r *Replica) onCheckpoint(c *Checkpoint) {
+	if c.Seq <= r.lowWater {
+		return
+	}
+	r.recordCheckpoint(c)
+}
+
+func (r *Replica) recordCheckpoint(c *Checkpoint) {
+	byRep := r.checkpoints[c.Seq]
+	if byRep == nil {
+		byRep = make(map[ReplicaID]*Checkpoint)
+		r.checkpoints[c.Seq] = byRep
+	}
+	if _, dup := byRep[c.Replica]; dup {
+		return
+	}
+	byRep[c.Replica] = c
+	// Count matching digests.
+	counts := make(map[Digest][]*Checkpoint)
+	for _, cp := range byRep {
+		counts[cp.StateDigest] = append(counts[cp.StateDigest], cp)
+	}
+	for digest, cps := range counts {
+		if len(cps) < r.quorum() {
+			continue
+		}
+		sort.Slice(cps, func(i, j int) bool { return cps[i].Replica < cps[j].Replica })
+		proof := cps[:r.quorum()]
+		if c.Seq > r.lastExec {
+			// We are behind the group: transfer state.
+			r.requestState(c.Seq, proof)
+			return
+		}
+		// Only stabilise on our own digest; a mismatch means divergence
+		// (should be impossible for a correct replica).
+		if own, ok := r.snapshots[c.Seq]; ok && sha256.Sum256(own) == digest {
+			r.stabilise(c.Seq, proof)
+		}
+		return
+	}
+}
+
+// pruneOutstanding drops forwarded requests that have since executed —
+// locally or, after state transfer, remotely (visible in the client
+// table). Without this a replica whose requests were satisfied by state
+// transfer would keep its view-change timer armed forever.
+func (r *Replica) pruneOutstanding() {
+	for d, req := range r.outstanding {
+		rec := r.clientTable[req.ClientID]
+		if rec != nil && req.ClientSeq <= rec.seq {
+			delete(r.outstanding, d)
+		}
+	}
+	if len(r.outstanding) == 0 {
+		r.disarmTimer()
+	}
+}
+
+func (r *Replica) stabilise(seq uint64, proof []*Checkpoint) {
+	if seq <= r.lowWater {
+		return
+	}
+	r.lowWater = seq
+	r.stableProof = append([]*Checkpoint(nil), proof...)
+	for s := range r.log {
+		if s <= seq {
+			delete(r.log, s)
+		}
+	}
+	for s := range r.checkpoints {
+		if s <= seq {
+			delete(r.checkpoints, s)
+		}
+	}
+	for s := range r.snapshots {
+		if s < seq {
+			delete(r.snapshots, s)
+		}
+	}
+	r.drainBuffered()
+}
+
+// --- state transfer ---
+
+func (r *Replica) requestState(seq uint64, proof []*Checkpoint) {
+	if r.fetching {
+		return
+	}
+	r.fetching = true
+	fs := &FetchState{Seq: seq, Replica: r.cfg.ID}
+	SignMessage(r.cfg.Auth, fs)
+	data := Encode(fs)
+	for _, cp := range proof {
+		if cp.Replica != r.cfg.ID {
+			r.env.SendReplica(cp.Replica, data)
+		}
+	}
+}
+
+func (r *Replica) onFetchState(fs *FetchState) {
+	if r.lowWater < fs.Seq || len(r.stableProof) == 0 {
+		return
+	}
+	snap, ok := r.snapshots[r.lowWater]
+	if !ok {
+		return
+	}
+	sd := &StateData{
+		Seq: r.lowWater, Snapshot: snap,
+		Proof: r.stableProof, Replica: r.cfg.ID,
+	}
+	r.send(fs.Replica, sd)
+}
+
+func (r *Replica) onStateData(sd *StateData) {
+	r.fetching = false
+	if sd.Seq <= r.lastExec {
+		return
+	}
+	if !r.verifyCheckpointProof(sd.Seq, sha256.Sum256(sd.Snapshot), sd.Proof) {
+		return
+	}
+	if err := r.restoreState(sd.Snapshot); err != nil {
+		return
+	}
+	r.lastExec = sd.Seq
+	r.snapshots[sd.Seq] = sd.Snapshot
+	r.stabilise(sd.Seq, sd.Proof)
+	if r.seq < sd.Seq {
+		r.seq = sd.Seq
+	}
+	// Anything we thought was outstanding may have executed remotely.
+	r.pruneOutstanding()
+	r.tryExecute()
+}
+
+// verifyCheckpointProof checks a 2f+1 matching, correctly signed
+// checkpoint certificate.
+func (r *Replica) verifyCheckpointProof(seq uint64, digest Digest, proof []*Checkpoint) bool {
+	seen := make(map[ReplicaID]bool)
+	for _, cp := range proof {
+		if cp.Seq != seq || cp.StateDigest != digest || seen[cp.Replica] {
+			return false
+		}
+		if int(cp.Replica) >= r.cfg.N {
+			return false
+		}
+		if !VerifyMessage(r.cfg.Auth, cp) {
+			return false
+		}
+		seen[cp.Replica] = true
+	}
+	return len(seen) >= r.quorum()
+}
+
+// --- timers ---
+
+func (r *Replica) armTimer() {
+	if r.timerArmed {
+		return
+	}
+	r.timerArmed = true
+	r.env.SetTimer(r.vcTimeout)
+}
+
+// armTimerAlways re-arms even if already armed (restarts countdown after
+// progress).
+func (r *Replica) armTimerAlways() {
+	r.timerArmed = true
+	r.env.SetTimer(r.vcTimeout)
+}
+
+func (r *Replica) disarmTimer() {
+	if !r.timerArmed {
+		return
+	}
+	r.timerArmed = false
+	r.env.StopTimer()
+}
+
+// maxViewTimeout caps exponential view-change backoff so the timeout can
+// neither overflow nor grow unboundedly during a long outage.
+const maxViewTimeout = 30 * time.Second
+
+// HandleTimer processes a view-change timer expiry.
+func (r *Replica) HandleTimer() {
+	r.timerArmed = false
+	r.vcTimeout *= 2
+	if r.vcTimeout > maxViewTimeout {
+		r.vcTimeout = maxViewTimeout
+	}
+	r.startViewChange(r.view + 1)
+}
+
+// equalBytes reports whether two encoded messages match.
+func equalBytes(a, b Message) bool {
+	return bytes.Equal(Encode(a), Encode(b))
+}

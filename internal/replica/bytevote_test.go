@@ -1,0 +1,59 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"itdos/internal/cdr"
+	"itdos/internal/idl"
+	"itdos/internal/netsim"
+	"itdos/internal/orb"
+)
+
+func TestByteVotingDecidesWithMatchingOrders(t *testing.T) {
+	// Two big-endian + two little-endian replicas: byte voting must still
+	// decide string results — the two same-order copies are byte-identical
+	// and reach f+1. (Float results with jitter would not.)
+	reg := idl.NewRegistry()
+	reg.Register(idl.NewInterface("IDL:S:1.0").
+		Op("echo",
+			[]idl.Param{{Name: "in", Type: cdr.String}},
+			[]idl.Param{{Name: "out", Type: cdr.String}}))
+	sys, err := NewSystem(SystemConfig{
+		Seed:       21,
+		Latency:    netsim.UniformLatency(time.Millisecond, 2*time.Millisecond),
+		Registry:   reg,
+		ByteVoting: true,
+		Domains: []DomainSpec{{
+			Name: "s", N: 4, F: 1,
+			Profiles: []Profile{
+				{Order: cdr.BigEndian}, {Order: cdr.LittleEndian},
+				{Order: cdr.BigEndian}, {Order: cdr.LittleEndian},
+			},
+			Setup: func(member int, a *orb.Adapter) error {
+				return a.Register("s", "IDL:S:1.0", orb.ServantFunc(
+					func(_ *orb.CallContext, _ string, args []cdr.Value) ([]cdr.Value, error) {
+						return []cdr.Value{args[0]}, nil
+					}))
+			},
+		}},
+		Clients: []ClientSpec{{Name: "alice"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ref := orb.ObjectRef{Domain: "s", ObjectKey: "s", Interface: "IDL:S:1.0"}
+	res, err := sys.Client("alice").CallAndRun(ref, "echo", []cdr.Value{"x"}, 2_000_000)
+	if err != nil {
+		cs := sys.Client("alice").conns
+		for id, c := range cs {
+			t.Logf("conn %d: voter received=%d discarded=%d dropped=%d",
+				id, c.stream.Voter().Voter().Received(), c.stream.Voter().Discarded, c.stream.Dropped)
+		}
+		t.Fatal(err)
+	}
+	if res[0].(string) != "x" {
+		t.Fatalf("res = %v", res)
+	}
+}

@@ -1,0 +1,201 @@
+package replica
+
+import (
+	"itdos/internal/cdr"
+	"itdos/internal/giop"
+	"itdos/internal/idl"
+	"itdos/internal/netsim"
+	"itdos/internal/orb"
+	"itdos/internal/smiop"
+	"itdos/internal/srm"
+)
+
+// Element is one replication domain element: the full Figure-2 stack in
+// one process image. Inbound messages arrive in total order from the SRM
+// queue, pass the per-connection decrypt→unmarshal→vote pipeline, and
+// surface as ORB upcalls on the element's single application thread;
+// outbound requests and replies are signed, sealed and multicast.
+type Element struct {
+	endpoint
+
+	dr      *DomainRuntime
+	Adapter *orb.Adapter
+	srmEl   *srm.Element
+	caller  *orb.Client
+
+	// held buffers ordered data envelopes that arrived before their
+	// connection's key material; holding preserves global delivery order
+	// so upcall interleaving stays identical across elements.
+	held    []*smiop.Envelope
+	holding bool
+
+	// Desynced is set when queue garbage collection outran this element
+	// (it must be expelled; paper §3.1).
+	Desynced bool
+
+	// Delivered counts totally-ordered messages consumed.
+	Delivered uint64
+	// Upcalls counts voted requests dispatched to servants.
+	Upcalls uint64
+}
+
+func newElement(sys *System, dr *DomainRuntime, member int, profile Profile) (*Element, error) {
+	el := &Element{dr: dr}
+	el.init(sys, ElementIdentity(dr.Spec.Name, member), dr.Info, member, profile)
+	el.Adapter = orb.NewAdapter(sys.registry)
+	el.Adapter.ResultTransform = func(op *idl.Operation, results []cdr.Value) []cdr.Value {
+		return profile.PerturbResults(op, results)
+	}
+	el.caller = orb.NewClient(sys.registry, el, profile.Order)
+	el.onPostDecision = el.onPostDecisionHook
+	el.srmEl = dr.Dom.Elements[member]
+	el.srmEl.OnDeliver = el.onDeliver
+	el.srmEl.OnDesync = func(gapStart, gapEnd uint64) { el.Desynced = true }
+	return el, nil
+}
+
+// Identity returns the element's global identity ("domain/rN").
+func (el *Element) Identity() string { return el.identity }
+
+// Profile returns the element's platform profile.
+func (el *Element) Profile() Profile { return el.profile }
+
+// Caller returns the element's client-side ORB for nested invocations
+// (exposed to servants through the CallContext as well).
+func (el *Element) Caller() *orb.Client { return el.caller }
+
+// onDeliver consumes one totally-ordered message (driver thread).
+func (el *Element) onDeliver(seq uint64, sender string, data []byte) {
+	el.Delivered++
+	if el.Desynced {
+		return
+	}
+	env, err := smiop.DecodeEnvelope(data)
+	if err != nil {
+		return
+	}
+	switch env.Kind {
+	case smiop.KindKeyShare:
+		el.onKeyShare(sender, env)
+	case smiop.KindData:
+		if el.holding {
+			el.held = append(el.held, env)
+			return
+		}
+		el.processData(env)
+	default:
+		// open_request / change_request are Group Manager business.
+	}
+}
+
+func (el *Element) onKeyShare(sender string, env *smiop.Envelope) {
+	// Only the Group Manager may distribute key shares; the sender
+	// identity was authenticated by the ordering transport.
+	gmDomain, gmIdx, ok := el.sys.memberOf(sender)
+	if !ok || gmDomain != GMDomainName {
+		return
+	}
+	bundle, err := smiop.DecodeShareBundle(env.Payload)
+	if err != nil || int(bundle.GMMember) != gmIdx {
+		return
+	}
+	before := len(el.conns)
+	el.handleBundle(bundle, el.onInboundRequest)
+	if len(el.conns) != before || el.rekeyHappened(bundle) {
+		el.drainHeld()
+	}
+}
+
+func (el *Element) rekeyHappened(b *smiop.ShareBundle) bool {
+	cs, ok := el.conns[b.ConnID]
+	return ok && cs.conn.KeyEra() == b.Era && b.Era > 0
+}
+
+func (el *Element) processData(env *smiop.Envelope) {
+	if _, ok := el.conns[env.ConnID]; !ok {
+		// Key material not combined yet: stall the pipeline to keep the
+		// upcall order identical on every element.
+		el.holding = true
+		el.held = append(el.held, env)
+		return
+	}
+	el.handleData(env)
+}
+
+func (el *Element) drainHeld() {
+	if !el.holding && len(el.held) == 0 {
+		return
+	}
+	el.holding = false
+	held := el.held
+	el.held = nil
+	for i, env := range held {
+		if el.holding {
+			el.held = append(el.held, held[i:]...)
+			return
+		}
+		el.processData(env)
+	}
+}
+
+// onInboundRequest dispatches a voted request as an ORB upcall.
+func (el *Element) onInboundRequest(cs *connState, val *smiop.MessageVal) {
+	el.Upcalls++
+	el.schedule(func() { el.serve(cs, val) })
+}
+
+// serve runs on the ORB thread: dispatch to the servant, marshal the reply
+// in the platform byte order, sign, seal, and send it back to the peer.
+func (el *Element) serve(cs *connState, val *smiop.MessageVal) {
+	req := val.Msg.Request
+	if req == nil {
+		return
+	}
+	args, ok := val.Body.([]cdr.Value)
+	if !ok {
+		args = nil
+	}
+	reply := el.Adapter.DispatchValues(req.ObjectKey, val.Interface, val.Operation,
+		req.RequestID, args, el.caller, el.profile.Order)
+	if !req.ResponseExpected {
+		return
+	}
+	giopBytes := giop.EncodeReply(el.profile.Order, reply)
+	cs.cachedReplyID = req.RequestID
+	cs.cachedReplyGIOP = giopBytes
+	el.sendReply(cs, req.RequestID, giopBytes)
+}
+
+// sendReply seals a reply under the connection's current key (fragmenting
+// large messages) and routes it back to the peer.
+func (el *Element) sendReply(cs *connState, requestID uint64, giopBytes []byte) {
+	envs, err := cs.conn.SealSignedDataFragmented(requestID, true, giopBytes, el.sign,
+		el.sys.cfg.FragmentSize)
+	if err != nil {
+		return
+	}
+	for _, env := range envs {
+		if cs.peer.N == 1 {
+			// Singleton client: every element replies directly and the
+			// client votes on the copies (paper §3.2).
+			el.sys.Net.Send(netsim.NodeID(el.identity),
+				netsim.NodeID(clientInboxAddr(cs.peer.Name)), env.Encode())
+			continue
+		}
+		// Replicated peer: the reply is multicast into the peer's
+		// ordering, like every message to a replication domain.
+		el.sendOrdered(cs.peer.Name, env.Encode())
+	}
+}
+
+// onPostDecisionHook answers a retried request (same id, arriving after
+// its vote decided) from the reply cache — the request is not re-executed.
+func (el *Element) onPostDecisionHook(cs *connState, env *smiop.Envelope) {
+	if env.Reply || cs.cachedReplyGIOP == nil || env.RequestID != cs.cachedReplyID {
+		return
+	}
+	el.sendReply(cs, cs.cachedReplyID, cs.cachedReplyGIOP)
+}
+
+// ensure interface compliance
+var _ orb.Protocol = (*Element)(nil)

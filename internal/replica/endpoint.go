@@ -1,0 +1,592 @@
+package replica
+
+import (
+	"fmt"
+
+	"itdos/internal/cdr"
+	"itdos/internal/dprf"
+	"itdos/internal/giop"
+	"itdos/internal/orb"
+	"itdos/internal/seckey"
+	"itdos/internal/smiop"
+	"itdos/internal/vote"
+)
+
+// waitKind says what a parked ORB thread is waiting for.
+type waitKind int
+
+const (
+	waitConn waitKind = iota + 1
+	waitReply
+)
+
+type waitState struct {
+	kind   waitKind
+	peer   string // waitConn: the target domain
+	connID uint64 // waitReply
+	reqID  uint64 // waitReply
+}
+
+// debugCR enables change-request proof tracing (tests only).
+var debugCR bool
+
+// callFailure resumes a parked call with an error.
+type callFailure struct {
+	err error
+	// rekeyed marks a failure caused by a key change racing the call; the
+	// invocation path retries such calls once under the new key.
+	rekeyed bool
+}
+
+// connState is one endpoint's view of a live connection plus its inbound
+// voting stream.
+type connState struct {
+	conn      *smiop.Connection
+	stream    *smiop.Stream
+	peer      smiop.PeerInfo
+	initiator bool
+
+	lastDecision *vote.Decision
+	lastVal      *smiop.MessageVal
+	// decidedReqID is the request id lastDecision belongs to; faults must
+	// only be filed against the decision of their own vote.
+	decidedReqID  uint64
+	pendingFaults []vote.FaultReport
+	reported      map[int]bool
+
+	// cachedReplyID/cachedReplyGIOP hold the last reply this acceptor sent
+	// on the connection, so a retried request (same id, e.g. across a
+	// rekey) is answered without re-execution — at-most-once semantics.
+	cachedReplyID   uint64
+	cachedReplyGIOP []byte
+}
+
+// shareCollector accumulates Group Manager key shares for one
+// (connection, era) until a 2f_gm+1 quorum combines into the
+// communication key.
+type shareCollector struct {
+	bundleMeta *smiop.ShareBundle
+	shares     map[int]*dprf.Share
+}
+
+// FaultEvent records one change_request this endpoint filed.
+type FaultEvent struct {
+	PeerDomain string
+	Member     int
+	ConnID     uint64
+	RequestID  uint64
+}
+
+// endpoint is the state and behaviour shared by replication domain
+// elements and singleton clients: connection management, key-share
+// collection, the outbound invocation path, and the ORB-thread scheduler.
+type endpoint struct {
+	sys      *System
+	identity string
+	local    smiop.PeerInfo
+	member   int
+	profile  Profile
+	worker   *worker
+	sign     func([]byte) []byte
+
+	conns      map[uint64]*connState
+	connByPeer map[string]uint64
+	collectors map[string]*shareCollector
+	senders    map[string]*sendQueue
+
+	// ORB-thread scheduling: tasks (inbound upcalls or client application
+	// code) run one at a time; a task parked in a nested invocation blocks
+	// later tasks — the single-threaded execution model of paper §2.
+	taskQueue []func()
+	busy      bool
+	waiting   *waitState
+
+	// FaultEvents records every change_request filed (observability).
+	FaultEvents []FaultEvent
+
+	// GMShareFaults counts key shares from Group Manager elements that
+	// failed verification during Combine.
+	GMShareFaults int
+
+	// onPostDecision, if set, handles copies arriving after a vote decided
+	// (elements answer request retries from their reply cache).
+	onPostDecision func(cs *connState, env *smiop.Envelope)
+}
+
+func (ep *endpoint) init(sys *System, identity string, local smiop.PeerInfo, member int, profile Profile) {
+	ep.sys = sys
+	ep.identity = identity
+	ep.local = local
+	ep.member = member
+	ep.profile = profile
+	ep.worker = newWorker()
+	priv := sys.privs[identity]
+	ep.sign = func(msg []byte) []byte { return sys.signWith(priv, msg) }
+	ep.conns = make(map[uint64]*connState)
+	ep.connByPeer = make(map[string]uint64)
+	ep.collectors = make(map[string]*shareCollector)
+	ep.senders = make(map[string]*sendQueue)
+}
+
+// --- task scheduling (driver thread) ---
+
+// schedule queues a task for the ORB thread and runs it if idle.
+func (ep *endpoint) schedule(task func()) {
+	ep.taskQueue = append(ep.taskQueue, task)
+	ep.pump()
+}
+
+func (ep *endpoint) pump() {
+	for !ep.busy && len(ep.taskQueue) > 0 {
+		task := ep.taskQueue[0]
+		ep.taskQueue = ep.taskQueue[1:]
+		ep.busy = true
+		if ep.worker.runTask(task) == workerIdle {
+			ep.busy = false
+		}
+	}
+}
+
+// resume wakes the parked ORB thread and continues pumping when the task
+// completes.
+func (ep *endpoint) resume(v any) {
+	ep.waiting = nil
+	if ep.worker.resumeWith(v) == workerIdle {
+		ep.busy = false
+		ep.pump()
+	}
+}
+
+// --- outbound path (ORB thread) ---
+
+// Invoke implements orb.Protocol: seal, send, park for the voted reply.
+// A call interrupted by a connection rekey (a membership change racing the
+// invocation) is retried once under the new key — the request was never
+// executed exactly-once-visibly, because replies under the dead key can no
+// longer be voted.
+func (ep *endpoint) Invoke(ref orb.ObjectRef, req *giop.Request) (*giop.Reply, cdr.ByteOrder, error) {
+	retry := false
+	for attempt := 0; ; attempt++ {
+		reply, order, err := ep.invokeOnce(ref, req, retry)
+		var rekey *rekeyError
+		if err != nil && errorsAs(err, &rekey) && attempt < 2 {
+			// Retry under the new key with the SAME request id: acceptors
+			// that already executed the request answer from their reply
+			// cache, so the operation still executes at most once.
+			retry = true
+			continue
+		}
+		return reply, order, err
+	}
+}
+
+// rekeyError marks a call killed by a racing key change.
+type rekeyError struct{ msg string }
+
+func (e *rekeyError) Error() string { return e.msg }
+
+func errorsAs(err error, target **rekeyError) bool {
+	re, ok := err.(*rekeyError)
+	if ok {
+		*target = re
+	}
+	return ok
+}
+
+func (ep *endpoint) invokeOnce(ref orb.ObjectRef, req *giop.Request, retry bool) (*giop.Reply, cdr.ByteOrder, error) {
+	cs, err := ep.ensureConn(ref.Domain)
+	if err != nil {
+		return nil, 0, err
+	}
+	var reqID uint64
+	if retry {
+		reqID = cs.conn.CurrentRequestID()
+		req.RequestID = reqID
+		if err := cs.stream.RetryReply(reqID, ref.Interface, req.Operation); err != nil {
+			return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
+		}
+	} else {
+		reqID = cs.conn.NextRequestID()
+		req.RequestID = reqID
+		if err := cs.stream.ExpectReply(reqID, ref.Interface, req.Operation); err != nil {
+			return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
+		}
+	}
+	giopBytes := giop.EncodeRequest(ep.profile.Order, req)
+	envs, err := cs.conn.SealSignedDataFragmented(reqID, false, giopBytes, ep.sign,
+		ep.sys.cfg.FragmentSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, env := range envs {
+		ep.sendOrdered(ref.Domain, env.Encode())
+	}
+	ep.waiting = &waitState{kind: waitReply, connID: cs.conn.ID, reqID: reqID}
+	switch res := ep.worker.park().(type) {
+	case *smiop.MessageVal:
+		return res.Msg.Reply, res.Msg.Order, nil
+	case callFailure:
+		if res.rekeyed {
+			return nil, 0, &rekeyError{msg: res.err.Error()}
+		}
+		return nil, 0, res.err
+	default:
+		return nil, 0, fmt.Errorf("replica: %s: unexpected resume %T", ep.identity, res)
+	}
+}
+
+// ensureConn returns the connection to peer, establishing one through the
+// Group Manager if needed (Figure 3, steps 1-3). Runs on the ORB thread
+// and may park.
+func (ep *endpoint) ensureConn(peer string) (*connState, error) {
+	if id, ok := ep.connByPeer[peer]; ok {
+		return ep.conns[id], nil
+	}
+	open := &smiop.OpenRequest{Initiator: ep.local.Name, Target: peer}
+	env := &smiop.Envelope{
+		Kind:      smiop.KindOpenRequest,
+		SrcDomain: ep.local.Name,
+		SrcMember: uint32(ep.member),
+		Payload:   open.Encode(),
+	}
+	ep.sendOrdered(GMDomainName, env.Encode())
+	ep.waiting = &waitState{kind: waitConn, peer: peer}
+	switch res := ep.worker.park().(type) {
+	case *connState:
+		return res, nil
+	case callFailure:
+		return nil, res.err
+	default:
+		return nil, fmt.Errorf("replica: %s: unexpected resume %T", ep.identity, res)
+	}
+}
+
+// sendOrdered multicasts payload into target's ordering group. Safe from
+// either coroutine (they are mutually exclusive).
+func (ep *endpoint) sendOrdered(target string, payload []byte) {
+	q, ok := ep.senders[target]
+	if !ok {
+		q = ep.sys.newSender(ep.identity, target)
+		ep.senders[target] = q
+	}
+	q.send(payload)
+}
+
+// --- inbound path (driver thread) ---
+
+// handleData routes a voted-stream data envelope.
+func (ep *endpoint) handleData(env *smiop.Envelope) {
+	cs, ok := ep.conns[env.ConnID]
+	if !ok {
+		return
+	}
+	// Deliver errors are accounted in the stream counters; nothing to do.
+	_ = cs.stream.Deliver(env)
+}
+
+// onVoted handles a voted (agreed) message on a connection.
+func (ep *endpoint) onVoted(cs *connState, val *smiop.MessageVal, dec *vote.Decision,
+	onRequest func(cs *connState, val *smiop.MessageVal)) {
+
+	cs.lastDecision = dec
+	cs.lastVal = val
+	cs.decidedReqID = cs.stream.Voter().CurrentID()
+	pend := cs.pendingFaults
+	cs.pendingFaults = nil
+	for _, f := range pend {
+		ep.fileChangeRequest(cs, f)
+	}
+	if val.IsReply {
+		w := ep.waiting
+		if w != nil && w.kind == waitReply && w.connID == cs.conn.ID &&
+			val.Msg.Reply != nil && val.Msg.Reply.RequestID == w.reqID {
+			ep.resume(val)
+		}
+		return
+	}
+	if onRequest != nil {
+		onRequest(cs, val)
+	}
+}
+
+// onFault handles a conflicting-copy report from a voting stream. The
+// stream reports pre-decision conflicts just before delivering the
+// decision itself, so a report for a vote whose decision has not been
+// seen yet is deferred until onVoted installs it.
+func (ep *endpoint) onFault(cs *connState, report vote.FaultReport) {
+	if cs.lastDecision == nil || cs.decidedReqID != cs.stream.Voter().CurrentID() {
+		cs.pendingFaults = append(cs.pendingFaults, report)
+		return
+	}
+	ep.fileChangeRequest(cs, report)
+}
+
+// fileChangeRequest accuses a faulty peer member to the Group Manager. A
+// singleton endpoint must attach proof (the signed messages that exposed
+// the fault); a replication domain member accuses bare, and the Group
+// Manager counts f+1 matching accusations (paper §3.6).
+func (ep *endpoint) fileChangeRequest(cs *connState, report vote.FaultReport) {
+	if cs.reported == nil {
+		cs.reported = make(map[int]bool)
+	}
+	if cs.reported[report.Member] {
+		return
+	}
+	cs.reported[report.Member] = true
+
+	cr := &smiop.ChangeRequest{
+		TargetDomain: cs.peer.Name,
+		Accused:      uint32(report.Member),
+		ConnID:       cs.conn.ID,
+		RequestID:    cs.stream.Voter().CurrentID(),
+		Reply:        cs.initiator, // initiators vote replies, acceptors requests
+	}
+	if cs.lastVal != nil {
+		cr.Interface = cs.lastVal.Interface
+		cr.Operation = cs.lastVal.Operation
+	}
+	if ep.local.N == 1 {
+		// Singleton accuser: attach the accused's signed message plus the
+		// agreeing signed messages.
+		if item, ok := proofItem(report.Member, report.Evidence); ok {
+			cr.Proof = append(cr.Proof, item)
+		}
+		dec := cs.lastDecision
+		for i, m := range dec.Supporters {
+			if item, ok := proofItem(m, dec.SupporterRaws[i]); ok {
+				cr.Proof = append(cr.Proof, item)
+			}
+		}
+	}
+	if debugCR {
+		for _, item := range cr.Proof {
+			signing := smiop.DataSigningBytes(cr.ConnID, cr.RequestID, cr.TargetDomain,
+				item.Member, cr.Reply, item.GIOP)
+			identity := fmt.Sprintf("%s/r%d", cr.TargetDomain, item.Member)
+			fmt.Printf("debugCR: item member=%d sigOK=%v reqID=%d conn=%d reply=%v\n",
+				item.Member, ep.sys.verifyIdentity(identity, signing, item.Sig),
+				cr.RequestID, cr.ConnID, cr.Reply)
+		}
+	}
+	env := &smiop.Envelope{
+		Kind:      smiop.KindChangeRequest,
+		SrcDomain: ep.local.Name,
+		SrcMember: uint32(ep.member),
+		Payload:   cr.Encode(),
+	}
+	ep.sendOrdered(GMDomainName, env.Encode())
+	ep.FaultEvents = append(ep.FaultEvents, FaultEvent{
+		PeerDomain: cs.peer.Name,
+		Member:     report.Member,
+		ConnID:     cs.conn.ID,
+		RequestID:  cr.RequestID,
+	})
+}
+
+func proofItem(member int, raw []byte) (smiop.ProofItem, bool) {
+	payload, err := smiop.DecodeSignedPayload(raw)
+	if err != nil {
+		return smiop.ProofItem{}, false
+	}
+	return smiop.ProofItem{
+		Member: uint32(member),
+		GIOP:   payload.GIOP,
+		Sig:    payload.Sig,
+	}, true
+}
+
+// --- key share handling (driver thread) ---
+
+// handleBundle processes one Group Manager element's key-share bundle.
+// myShare selects this endpoint's sealed share within the bundle.
+// onRequest is the upcall sink wired into new connections' streams.
+func (ep *endpoint) handleBundle(b *smiop.ShareBundle,
+	onRequest func(cs *connState, val *smiop.MessageVal)) {
+
+	gmIdx := int(b.GMMember)
+	if gmIdx < 0 || gmIdx >= ep.sys.gmInfo.N {
+		return
+	}
+	var sealed []byte
+	var peer smiop.PeerInfo
+	var initiator bool
+	switch ep.local.Name {
+	case b.Initiator.Name:
+		if ep.member >= len(b.Shares) {
+			return
+		}
+		sealed = b.Shares[ep.member]
+		peer = b.Target
+		initiator = true
+	case b.Target.Name:
+		if ep.member >= len(b.Shares) {
+			return
+		}
+		sealed = b.Shares[ep.member]
+		peer = b.Initiator
+		initiator = false
+	default:
+		return
+	}
+	if len(sealed) == 0 {
+		// No share for us: we have been keyed out of this era.
+		return
+	}
+	if cs, ok := ep.conns[b.ConnID]; ok && b.Era <= cs.conn.KeyEra() {
+		return // stale era or re-announcement of the current one
+	}
+
+	gmIdentity := GMElementIdentity(gmIdx)
+	plain, err := ep.sys.openShare(gmIdentity, ep.identity, b.ConnID, b.Era, sealed)
+	if err != nil {
+		return // forged or corrupted share
+	}
+	share, err := dprf.DecodeShare(plain)
+	if err != nil || share.Party != gmIdx {
+		return
+	}
+	key := collectorKey(b.ConnID, b.Era)
+	col, ok := ep.collectors[key]
+	if !ok {
+		col = &shareCollector{bundleMeta: b, shares: make(map[int]*dprf.Share)}
+		ep.collectors[key] = col
+	}
+	col.shares[gmIdx] = share
+	if len(col.shares) < ep.sys.gmParams().Quorum() {
+		return
+	}
+	shares := make([]*dprf.Share, 0, len(col.shares))
+	for _, s := range col.shares {
+		shares = append(shares, s)
+	}
+	combined, corrupt, err := dprf.Combine(ep.sys.gmParams(), shares)
+	if err != nil {
+		return // wait for more shares
+	}
+	ep.GMShareFaults += len(corrupt)
+	delete(ep.collectors, key)
+	commKey, err := seckey.KeyFromBytes(combined[:])
+	if err != nil {
+		return
+	}
+	ep.installConn(col.bundleMeta, peer, initiator, commKey, onRequest)
+}
+
+func collectorKey(connID, era uint64) string {
+	return fmt.Sprintf("%d/%d", connID, era)
+}
+
+// installConn creates or rekeys the connection for a combined key and
+// resumes any ORB thread parked on connection establishment.
+func (ep *endpoint) installConn(b *smiop.ShareBundle, peer smiop.PeerInfo, initiator bool,
+	key seckey.Key, onRequest func(cs *connState, val *smiop.MessageVal)) {
+
+	expelledPeer := b.ExpelledTarget
+	if !initiator {
+		expelledPeer = b.ExpelledInitiator
+	}
+	exp := make([]int, 0, len(expelledPeer))
+	for _, m := range expelledPeer {
+		exp = append(exp, int(m))
+	}
+
+	if cs, ok := ep.conns[b.ConnID]; ok {
+		// Rekey: fresh key era, expelled members locked out. An in-flight
+		// call on this connection can no longer complete (its reply may be
+		// sealed under the dead key): fail it so the application can retry.
+		cs.conn.Rekey(b.Era, key, exp)
+		if w := ep.waiting; w != nil && w.kind == waitReply && w.connID == b.ConnID {
+			ep.resume(callFailure{
+				err: fmt.Errorf("replica: %s: connection %d rekeyed (era %d) during call",
+					ep.identity, b.ConnID, b.Era),
+				rekeyed: true,
+			})
+		}
+		return
+	}
+
+	conn, err := smiop.NewConnection(b.ConnID, ep.local, ep.member, peer, key)
+	if err != nil {
+		return
+	}
+	if b.Era > 0 {
+		// Established mid-history: jump straight to the announced era.
+		conn.Rekey(b.Era, key, exp)
+	}
+	stream, err := smiop.NewStream(conn, smiop.StreamConfig{
+		Registry:    ep.sys.registry,
+		Epsilon:     ep.sys.cfg.Epsilon,
+		Mode:        ep.sys.cfg.VoteMode,
+		AutoAdvance: !initiator,
+		ByteVoting:  ep.sys.cfg.ByteVoting,
+		VerifySig:   ep.sys.verifyData(),
+	})
+	if err != nil {
+		return
+	}
+	cs := &connState{conn: conn, stream: stream, peer: peer, initiator: initiator}
+	stream.OnMessage = func(val *smiop.MessageVal, dec *vote.Decision) {
+		ep.onVoted(cs, val, dec, onRequest)
+	}
+	stream.OnFault = func(member int, report vote.FaultReport) {
+		ep.onFault(cs, report)
+	}
+	if ep.onPostDecision != nil {
+		stream.OnPostDecision = func(env *smiop.Envelope, _ *smiop.MessageVal) {
+			ep.onPostDecision(cs, env)
+		}
+	}
+	ep.conns[b.ConnID] = cs
+	if initiator {
+		ep.connByPeer[peer.Name] = b.ConnID
+	}
+	if w := ep.waiting; w != nil && w.kind == waitConn && w.peer == peer.Name && initiator {
+		ep.resume(cs)
+	}
+}
+
+// Conn returns the endpoint's connection state for a connection id
+// (nil if unknown). Primarily for tests and benchmarks.
+func (ep *endpoint) Conn(id uint64) *smiop.Connection {
+	if cs, ok := ep.conns[id]; ok {
+		return cs.conn
+	}
+	return nil
+}
+
+// ConnTo returns the initiated connection id to a peer domain.
+func (ep *endpoint) ConnTo(peer string) (uint64, bool) {
+	id, ok := ep.connByPeer[peer]
+	return id, ok
+}
+
+// sendQueue serialises ordered sends: the underlying PBFT client allows
+// one outstanding request, so later payloads wait for the previous ACK.
+type sendQueue struct {
+	sendNow  func(data []byte) error
+	queue    [][]byte
+	inflight bool
+}
+
+func (q *sendQueue) send(data []byte) {
+	if q.inflight {
+		q.queue = append(q.queue, data)
+		return
+	}
+	q.inflight = true
+	if err := q.sendNow(data); err != nil {
+		q.inflight = false
+	}
+}
+
+func (q *sendQueue) acked() {
+	if len(q.queue) == 0 {
+		q.inflight = false
+		return
+	}
+	next := q.queue[0]
+	q.queue = q.queue[1:]
+	if err := q.sendNow(next); err != nil {
+		q.inflight = false
+	}
+}

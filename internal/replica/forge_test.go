@@ -1,0 +1,31 @@
+package replica
+
+import (
+	"itdos/internal/smiop"
+)
+
+// forgeCR builds a malicious change_request: fabricated proof items with
+// invalid signatures, trying to expel a correct replica.
+func forgeCR(connID uint64, accused uint32) []byte {
+	cr := &smiop.ChangeRequest{
+		TargetDomain: "calc",
+		Accused:      accused,
+		ConnID:       connID,
+		RequestID:    1,
+		Reply:        true,
+		Interface:    calcIface,
+		Operation:    "add",
+		Proof: []smiop.ProofItem{
+			{Member: accused, GIOP: []byte("fake"), Sig: []byte("fake-sig")},
+			{Member: accused + 1, GIOP: []byte("fake2"), Sig: []byte("fake-sig2")},
+			{Member: accused + 2, GIOP: []byte("fake3"), Sig: []byte("fake-sig3")},
+		},
+	}
+	env := &smiop.Envelope{
+		Kind:      smiop.KindChangeRequest,
+		SrcDomain: "alice",
+		SrcMember: 0,
+		Payload:   cr.Encode(),
+	}
+	return env.Encode()
+}

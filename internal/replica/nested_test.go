@@ -1,0 +1,200 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"itdos/internal/cdr"
+	"itdos/internal/idl"
+	"itdos/internal/netsim"
+	"itdos/internal/orb"
+)
+
+const (
+	frontIface = "IDL:itdos/Front:1.0"
+	backIface  = "IDL:itdos/Back:1.0"
+)
+
+func nestedRegistry() *idl.Registry {
+	reg := idl.NewRegistry()
+	reg.Register(idl.NewInterface(frontIface).
+		Op("total",
+			[]idl.Param{{Name: "base", Type: cdr.Long}},
+			[]idl.Param{{Name: "result", Type: cdr.Long}}).
+		Op("chainstore",
+			[]idl.Param{{Name: "v", Type: cdr.String}},
+			[]idl.Param{{Name: "echo", Type: cdr.String}}))
+	reg.Register(idl.NewInterface(backIface).
+		Op("scale",
+			[]idl.Param{{Name: "x", Type: cdr.Long}},
+			[]idl.Param{{Name: "y", Type: cdr.Long}}).
+		Op("keep",
+			[]idl.Param{{Name: "v", Type: cdr.String}},
+			[]idl.Param{{Name: "prev", Type: cdr.String}}))
+	return reg
+}
+
+var (
+	frontRef = orb.ObjectRef{Domain: "front", ObjectKey: "front", Interface: frontIface}
+	backRef  = orb.ObjectRef{Domain: "back", ObjectKey: "back", Interface: backIface}
+)
+
+// frontServant calls into the back domain while serving — a nested
+// invocation (paper §3.1). The Caller in the CallContext routes through
+// the middleware, as ITDOS requires ("all replicated state machines in
+// that group must invoke operations on that object remotely").
+type frontServant struct{}
+
+func (frontServant) Invoke(ctx *orb.CallContext, op string, args []cdr.Value) ([]cdr.Value, error) {
+	switch op {
+	case "total":
+		base := args[0].(int32)
+		res, err := ctx.Caller.Call(backRef, "scale", []cdr.Value{base})
+		if err != nil {
+			return nil, fmt.Errorf("nested scale: %w", err)
+		}
+		return []cdr.Value{res[0].(int32) + 1}, nil
+	case "chainstore":
+		res, err := ctx.Caller.Call(backRef, "keep", []cdr.Value{args[0]})
+		if err != nil {
+			return nil, fmt.Errorf("nested keep: %w", err)
+		}
+		return []cdr.Value{"prev:" + res[0].(string)}, nil
+	}
+	return nil, orb.ErrBadOperation
+}
+
+type backServant struct {
+	saved string
+}
+
+func (s *backServant) Invoke(ctx *orb.CallContext, op string, args []cdr.Value) ([]cdr.Value, error) {
+	switch op {
+	case "scale":
+		return []cdr.Value{args[0].(int32) * 10}, nil
+	case "keep":
+		prev := s.saved
+		s.saved = args[0].(string)
+		return []cdr.Value{prev}, nil
+	}
+	return nil, orb.ErrBadOperation
+}
+
+func newNestedSystem(t *testing.T, seed int64) (*System, []*backServant) {
+	t.Helper()
+	backs := make([]*backServant, 4)
+	for i := range backs {
+		backs[i] = &backServant{}
+	}
+	sys, err := NewSystem(SystemConfig{
+		Seed:     seed,
+		Latency:  netsim.UniformLatency(time.Millisecond, 3*time.Millisecond),
+		Registry: nestedRegistry(),
+		GM:       GroupSpec{N: 4, F: 1},
+		Domains: []DomainSpec{
+			{
+				Name: "front", N: 4, F: 1,
+				Profiles: []Profile{SolarisLike, LinuxLike, SolarisLike, LinuxLike},
+				Setup: func(member int, a *orb.Adapter) error {
+					return a.Register("front", frontIface, frontServant{})
+				},
+			},
+			{
+				Name: "back", N: 4, F: 1,
+				Profiles: []Profile{LinuxLike, SolarisLike, LinuxLike, SolarisLike},
+				Setup: func(member int, a *orb.Adapter) error {
+					return a.Register("back", backIface, backs[member])
+				},
+			},
+		},
+		Clients: []ClientSpec{{Name: "alice"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	return sys, backs
+}
+
+func TestNestedInvocationAcrossDomains(t *testing.T) {
+	// Client → front (replicated) → back (replicated): the front domain
+	// acts as a replicated client of the back domain; back votes the
+	// request copies, front votes the reply copies, and the client votes
+	// the final replies.
+	sys, _ := newNestedSystem(t, 11)
+	alice := sys.Client("alice")
+	res, err := alice.CallAndRun(frontRef, "total", []cdr.Value{int32(4)}, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].(int32); got != 41 {
+		t.Fatalf("total = %d, want 41 (4*10+1)", got)
+	}
+}
+
+func TestNestedStatefulChain(t *testing.T) {
+	sys, backs := newNestedSystem(t, 12)
+	alice := sys.Client("alice")
+	res, err := alice.CallAndRun(frontRef, "chainstore", []cdr.Value{"one"}, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(string) != "prev:" {
+		t.Fatalf("first chainstore = %q", res[0])
+	}
+	res, err = alice.CallAndRun(frontRef, "chainstore", []cdr.Value{"two"}, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(string) != "prev:one" {
+		t.Fatalf("second chainstore = %q", res[0])
+	}
+	sys.Net.Run(3_000_000)
+	// Every back replica executed the two voted nested requests exactly
+	// once, in the same order.
+	for i, b := range backs {
+		if b.saved != "two" {
+			t.Errorf("back replica %d state %q, want %q", i, b.saved, "two")
+		}
+	}
+}
+
+func TestNestedByzantineBackendMasked(t *testing.T) {
+	// A Byzantine replica in the *back* domain lies; the front elements'
+	// voters mask it and the client still sees the correct result.
+	sys, _ := newNestedSystem(t, 13)
+	evil := func(ctx *orb.CallContext, op string, args []cdr.Value) ([]cdr.Value, error) {
+		return []cdr.Value{int32(-999)}, nil
+	}
+	if err := sys.Domain("back").Elements[1].Adapter.Register("back", backIface,
+		orb.ServantFunc(evil)); err != nil {
+		t.Fatal(err)
+	}
+	alice := sys.Client("alice")
+	res, err := alice.CallAndRun(frontRef, "total", []cdr.Value{int32(7)}, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].(int32); got != 71 {
+		t.Fatalf("total = %d, want 71", got)
+	}
+	// The front domain's elements each saw the conflicting copy; f+1 of
+	// them accuse, and the Group Manager expels back/1 without proof
+	// (domain-originated change_request, paper §3.6).
+	if err := sys.RunUntil(func() bool {
+		for _, mgr := range sys.GMManagers {
+			if !mgr.IsExpelled("back", 1) {
+				return false
+			}
+		}
+		return true
+	}, 20_000_000); err != nil {
+		t.Fatalf("domain accusation did not expel: %v", err)
+	}
+	for _, mgr := range sys.GMManagers {
+		if len(mgr.Expulsions) != 1 || mgr.Expulsions[0].ByProof {
+			t.Fatalf("expulsions = %+v, want one by domain accusation", mgr.Expulsions)
+		}
+	}
+}

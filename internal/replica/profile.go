@@ -1,0 +1,116 @@
+package replica
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"itdos/internal/cdr"
+	"itdos/internal/idl"
+)
+
+// Profile models platform diversity for a replication domain element.
+// ITDOS's survivability argument rests on heterogeneous implementations
+// ("greater diversity in implementation and greater survivability",
+// abstract): replicas on different hardware/OS/language stacks avoid
+// common-mode failures but produce byte-different — and for floating
+// point, slightly value-different — encodings of the same results.
+type Profile struct {
+	// Order is the platform's native byte order; messages are marshalled
+	// in it (CDR carries the order in-band).
+	Order cdr.ByteOrder
+	// FloatJitter is the magnitude of deterministic floating-point
+	// divergence this platform exhibits (different FPUs, math libraries
+	// and compilation produce results differing in low-order bits). Zero
+	// means bit-identical floats.
+	FloatJitter float64
+	// OS and Lang are descriptive diversity labels (e.g. "solaris"/"cpp",
+	// "linux"/"java" — the paper's target platforms).
+	OS   string
+	Lang string
+}
+
+// DefaultProfile is a homogeneous big-endian platform with exact floats.
+var DefaultProfile = Profile{Order: cdr.BigEndian, OS: "linux", Lang: "go"}
+
+// SolarisLike and LinuxLike model the paper's two target platforms with
+// opposite endianness (SPARC was big-endian, x86 little-endian).
+var (
+	SolarisLike = Profile{Order: cdr.BigEndian, OS: "solaris", Lang: "cpp"}
+	LinuxLike   = Profile{Order: cdr.LittleEndian, OS: "linux", Lang: "java"}
+)
+
+// perturb applies the platform's deterministic float divergence to v: the
+// same platform always perturbs the same value identically (replicas are
+// deterministic machines), but different platforms diverge from each other
+// by up to FloatJitter relatively.
+func (p Profile) perturb(v float64) float64 {
+	if p.FloatJitter == 0 || v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	mac := hmac.New(sha256.New, []byte(p.OS+"|"+p.Lang))
+	var bits [8]byte
+	binary.BigEndian.PutUint64(bits[:], math.Float64bits(v))
+	mac.Write(bits[:])
+	h := mac.Sum(nil)
+	// Map the hash to a relative offset in [-jitter, +jitter].
+	frac := float64(binary.BigEndian.Uint32(h[:4]))/float64(math.MaxUint32)*2 - 1
+	return v + v*frac*p.FloatJitter
+}
+
+// PerturbResults applies the platform divergence to every float leaf of a
+// servant's results, guided by the operation's result TypeCode.
+func (p Profile) PerturbResults(op *idl.Operation, results []cdr.Value) []cdr.Value {
+	if p.FloatJitter == 0 {
+		return results
+	}
+	out := make([]cdr.Value, len(results))
+	for i, r := range results {
+		if i < len(op.Results) {
+			out[i] = p.perturbValue(op.Results[i].Type, r)
+		} else {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+func (p Profile) perturbValue(tc *cdr.TypeCode, v cdr.Value) cdr.Value {
+	switch tc.Kind {
+	case cdr.KindFloat:
+		f, ok := v.(float32)
+		if !ok {
+			return v
+		}
+		return float32(p.perturb(float64(f)))
+	case cdr.KindDouble:
+		f, ok := v.(float64)
+		if !ok {
+			return v
+		}
+		return p.perturb(f)
+	case cdr.KindSequence, cdr.KindArray:
+		elems, ok := v.([]cdr.Value)
+		if !ok {
+			return v
+		}
+		out := make([]cdr.Value, len(elems))
+		for i, el := range elems {
+			out[i] = p.perturbValue(tc.Elem, el)
+		}
+		return out
+	case cdr.KindStruct:
+		fields, ok := v.([]cdr.Value)
+		if !ok || len(fields) != len(tc.Members) {
+			return v
+		}
+		out := make([]cdr.Value, len(fields))
+		for i, f := range fields {
+			out[i] = p.perturbValue(tc.Members[i].Type, f)
+		}
+		return out
+	default:
+		return v
+	}
+}

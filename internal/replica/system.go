@@ -1,0 +1,547 @@
+package replica
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"time"
+
+	"itdos/internal/dprf"
+	"itdos/internal/groupmgr"
+	"itdos/internal/idl"
+	"itdos/internal/netsim"
+	"itdos/internal/orb"
+	"itdos/internal/pbft"
+	"itdos/internal/seckey"
+	"itdos/internal/smiop"
+	"itdos/internal/srm"
+	"itdos/internal/vote"
+)
+
+// GMDomainName is the reserved name of the Group Manager domain.
+const GMDomainName = groupmgr.GMDomainName
+
+// GroupSpec sizes a replication group.
+type GroupSpec struct {
+	N, F int
+}
+
+// DomainSpec describes one application replication domain.
+type DomainSpec struct {
+	Name string
+	N, F int
+	// Profiles gives each element its platform (len N); nil means
+	// homogeneous DefaultProfile.
+	Profiles []Profile
+	// Setup registers servants on each element's object adapter. It is
+	// called once per element; implementations must install deterministic,
+	// equivalent objects on every element (they may differ in language/
+	// platform in a real deployment — here they share Go code but may
+	// diverge in float behaviour via Profiles).
+	Setup func(member int, adapter *orb.Adapter) error
+}
+
+// ClientSpec describes a singleton client process.
+type ClientSpec struct {
+	Name    string
+	Profile Profile
+}
+
+// SystemConfig wires a whole ITDOS system onto the simulator.
+type SystemConfig struct {
+	Seed    int64
+	Latency netsim.LatencyModel
+
+	// Registry is the shared interface repository (distributed as
+	// configuration, like the paper's marshalling-engine inputs).
+	Registry *idl.Registry
+
+	// ConfigSecret seeds all pre-established keys: pairwise GM↔element
+	// keys, the DPRF master, the common-input generator.
+	ConfigSecret []byte
+
+	// GM sizes the Group Manager domain.
+	GM GroupSpec
+
+	Domains []DomainSpec
+	Clients []ClientSpec
+
+	// VoteMode and Epsilon configure every voting stream.
+	VoteMode vote.Mode
+	Epsilon  float64
+	// ByteVoting switches streams to byte-by-byte voting (experiment C2).
+	ByteVoting bool
+	// DisableMsgSig turns off per-message Ed25519 signatures (ablation;
+	// change_request proofs become unverifiable).
+	DisableMsgSig bool
+
+	// QueueCapacity bounds each SRM queue; CheckpointInterval and
+	// ViewTimeout tune PBFT; SendTimeout is the PBFT client retransmission
+	// timeout.
+	QueueCapacity      int
+	CheckpointInterval uint64
+	ViewTimeout        time.Duration
+	SendTimeout        time.Duration
+
+	// FragmentSize splits data messages larger than this into SMIOP
+	// fragments (paper §4 large-object support). 0 selects the default
+	// (16 KiB).
+	FragmentSize int
+}
+
+func (c *SystemConfig) fill() error {
+	if c.Registry == nil {
+		return fmt.Errorf("replica: system needs an idl.Registry")
+	}
+	if len(c.ConfigSecret) == 0 {
+		c.ConfigSecret = []byte("itdos-default-config-secret")
+	}
+	if c.GM.N == 0 {
+		c.GM = GroupSpec{N: 4, F: 1}
+	}
+	if c.GM.N < 3*c.GM.F+1 || c.GM.N < 2*c.GM.F+1 {
+		return fmt.Errorf("replica: gm group n=%d f=%d invalid", c.GM.N, c.GM.F)
+	}
+	if c.VoteMode == 0 {
+		c.VoteMode = vote.EagerFPlus1
+	}
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 4096
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 16
+	}
+	if c.ViewTimeout == 0 {
+		c.ViewTimeout = 400 * time.Millisecond
+	}
+	if c.SendTimeout == 0 {
+		c.SendTimeout = 150 * time.Millisecond
+	}
+	names := map[string]bool{GMDomainName: true}
+	for _, d := range c.Domains {
+		if names[d.Name] || strings.ContainsAny(d.Name, "/|") {
+			return fmt.Errorf("replica: invalid or duplicate domain name %q", d.Name)
+		}
+		names[d.Name] = true
+		if d.N < 3*d.F+1 {
+			return fmt.Errorf("replica: domain %s: n=%d < 3f+1 (f=%d)", d.Name, d.N, d.F)
+		}
+	}
+	for _, cl := range c.Clients {
+		if names[cl.Name] || strings.ContainsAny(cl.Name, "/|") {
+			return fmt.Errorf("replica: invalid or duplicate client name %q", cl.Name)
+		}
+		names[cl.Name] = true
+	}
+	return nil
+}
+
+// DomainRuntime is a running application replication domain.
+type DomainRuntime struct {
+	Spec     DomainSpec
+	Info     smiop.PeerInfo
+	Dom      *srm.Domain
+	Elements []*Element
+	ring     *pbft.Keyring
+}
+
+// System is a complete ITDOS deployment on a simulated network: the Group
+// Manager domain, the application domains, and singleton clients.
+type System struct {
+	Net *netsim.Network
+
+	cfg      SystemConfig
+	registry *idl.Registry
+
+	globalRing *pbft.Keyring
+	privs      map[string]ed25519.PrivateKey
+
+	domains map[string]*DomainRuntime
+	clients map[string]*Client
+
+	gmDomain   *srm.Domain
+	gmRing     *pbft.Keyring
+	gmInfo     smiop.PeerInfo
+	GMManagers []*groupmgr.Manager
+}
+
+// NewSystem builds and wires the full deployment.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Net:        netsim.NewNetwork(cfg.Seed, cfg.Latency),
+		cfg:        cfg,
+		registry:   cfg.Registry,
+		globalRing: pbft.NewKeyring(),
+		privs:      make(map[string]ed25519.PrivateKey),
+		domains:    make(map[string]*DomainRuntime),
+		clients:    make(map[string]*Client),
+		gmInfo:     smiop.PeerInfo{Name: GMDomainName, N: cfg.GM.N, F: cfg.GM.F},
+	}
+
+	// Global element/client identities.
+	for j := 0; j < cfg.GM.N; j++ {
+		if err := sys.addIdentity(GMElementIdentity(j)); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range cfg.Domains {
+		for i := 0; i < d.N; i++ {
+			if err := sys.addIdentity(ElementIdentity(d.Name, i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, cl := range cfg.Clients {
+		if err := sys.addIdentity(cl.Name); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := sys.buildGM(); err != nil {
+		return nil, err
+	}
+	for _, spec := range cfg.Domains {
+		if err := sys.buildDomain(spec); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range cfg.Clients {
+		if err := sys.buildClient(spec); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// ElementIdentity returns the global identity of a domain element.
+func ElementIdentity(domain string, member int) string {
+	return fmt.Sprintf("%s/r%d", domain, member)
+}
+
+// GMElementIdentity returns the global identity of a Group Manager element.
+func GMElementIdentity(member int) string {
+	return ElementIdentity(GMDomainName, member)
+}
+
+func (sys *System) addIdentity(identity string) error {
+	priv, err := pbft.GenerateIdentity(identity, sys.globalRing)
+	if err != nil {
+		return err
+	}
+	sys.privs[identity] = priv
+	return nil
+}
+
+// signWith signs msg with a private key (nil disables signatures for the
+// ablation config).
+func (sys *System) signWith(priv ed25519.PrivateKey, msg []byte) []byte {
+	if sys.cfg.DisableMsgSig || priv == nil {
+		return nil
+	}
+	return ed25519.Sign(priv, msg)
+}
+
+// verifyData returns the stream signature verifier for data messages.
+func (sys *System) verifyData() func(domain string, member uint32, msg, sig []byte) bool {
+	if sys.cfg.DisableMsgSig {
+		return nil
+	}
+	return func(domain string, member uint32, msg, sig []byte) bool {
+		identity := domain
+		if info, ok := sys.peerInfo(domain); ok && info.N > 1 {
+			identity = ElementIdentity(domain, int(member))
+		}
+		pub, ok := sys.globalRing.Lookup(identity)
+		return ok && len(sig) == ed25519.SignatureSize && ed25519.Verify(pub, msg, sig)
+	}
+}
+
+// verifyIdentity checks a signature by any global identity.
+func (sys *System) verifyIdentity(identity string, msg, sig []byte) bool {
+	if sys.cfg.DisableMsgSig {
+		return true
+	}
+	pub, ok := sys.globalRing.Lookup(identity)
+	return ok && len(sig) == ed25519.SignatureSize && ed25519.Verify(pub, msg, sig)
+}
+
+// peerInfo resolves a domain or client pseudo-domain.
+func (sys *System) peerInfo(name string) (smiop.PeerInfo, bool) {
+	if name == GMDomainName {
+		return sys.gmInfo, true
+	}
+	if dr, ok := sys.domains[name]; ok {
+		return dr.Info, true
+	}
+	if _, ok := sys.clients[name]; ok {
+		return smiop.PeerInfo{Name: name, N: 1, F: 0}, true
+	}
+	return smiop.PeerInfo{}, false
+}
+
+// memberOf resolves a global identity back to (domain, member).
+func (sys *System) memberOf(identity string) (string, int, bool) {
+	if _, ok := sys.clients[identity]; ok {
+		return identity, 0, true
+	}
+	slash := strings.LastIndex(identity, "/r")
+	if slash < 0 {
+		return "", 0, false
+	}
+	domain := identity[:slash]
+	var member int
+	if _, err := fmt.Sscanf(identity[slash:], "/r%d", &member); err != nil {
+		return "", 0, false
+	}
+	if domain == GMDomainName {
+		if member < 0 || member >= sys.gmInfo.N {
+			return "", 0, false
+		}
+		return domain, member, true
+	}
+	dr, ok := sys.domains[domain]
+	if !ok || member < 0 || member >= dr.Info.N {
+		return "", 0, false
+	}
+	return domain, member, true
+}
+
+func (sys *System) gmParams() dprf.Params {
+	return dprf.Params{N: sys.gmInfo.N, F: sys.gmInfo.F}
+}
+
+// deriveSecret derives a purpose-bound secret from the configuration
+// secret.
+func (sys *System) deriveSecret(purpose string) []byte {
+	mac := hmac.New(sha256.New, sys.cfg.ConfigSecret)
+	mac.Write([]byte(purpose))
+	return mac.Sum(nil)
+}
+
+// pairwiseChannel builds the one-shot sealing channel for a GM↔recipient
+// share transfer, context-bound to the connection and era.
+func (sys *System) pairwiseChannel(gmIdentity, recipient string, connID, era uint64) *seckey.Channel {
+	key := seckey.Pairwise(sys.deriveSecret("pairwise"), gmIdentity, recipient)
+	ctx := fmt.Sprintf("share|conn%d|era%d|%s", connID, era, recipient)
+	return seckey.NewChannel(key, ctx)
+}
+
+// sealShare seals a share from a GM element to a recipient.
+func (sys *System) sealShare(gmIdentity, recipient string, connID, era uint64, share []byte) ([]byte, error) {
+	return sys.pairwiseChannel(gmIdentity, recipient, connID, era).Seal(share)
+}
+
+// openShare opens a sealed share at the recipient.
+func (sys *System) openShare(gmIdentity, recipient string, connID, era uint64, sealed []byte) ([]byte, error) {
+	return sys.pairwiseChannel(gmIdentity, recipient, connID, era).Open(sealed)
+}
+
+// --- construction ---
+
+func (sys *System) buildGM() error {
+	ring := pbft.NewKeyring()
+	dom, err := srm.NewDomain(sys.Net, srm.DomainConfig{
+		Name: GMDomainName, N: sys.gmInfo.N, F: sys.gmInfo.F,
+		QueueCapacity:      sys.cfg.QueueCapacity,
+		CheckpointInterval: sys.cfg.CheckpointInterval,
+		ViewTimeout:        sys.cfg.ViewTimeout,
+		Ring:               ring,
+	})
+	if err != nil {
+		return err
+	}
+	sys.gmDomain = dom
+	sys.gmRing = ring
+
+	parties, err := dprf.Setup(sys.gmParams(), sys.deriveSecret("dprf-master"))
+	if err != nil {
+		return err
+	}
+	domainTable := make(map[string]smiop.PeerInfo)
+	for _, d := range sys.cfg.Domains {
+		domainTable[d.Name] = smiop.PeerInfo{Name: d.Name, N: d.N, F: d.F}
+	}
+	for _, cl := range sys.cfg.Clients {
+		domainTable[cl.Name] = smiop.PeerInfo{Name: cl.Name, N: 1, F: 0}
+	}
+	for j := 0; j < sys.gmInfo.N; j++ {
+		j := j
+		gmIdentity := GMElementIdentity(j)
+		mgr, err := groupmgr.New(groupmgr.Config{
+			Index:      j,
+			Params:     sys.gmParams(),
+			Party:      parties[j],
+			CommonSeed: sys.deriveSecret("common-input"),
+			Domains:    domainTable,
+			Registry:   sys.registry,
+			Epsilon:    sys.cfg.Epsilon,
+			Transport:  &gmTransport{sys: sys, gmIdentity: gmIdentity, senders: map[string]*sendQueue{}},
+			SealShare: func(recipient string, connID, era uint64, share []byte) ([]byte, error) {
+				return sys.sealShare(gmIdentity, recipient, connID, era, share)
+			},
+			Verify:   sys.verifyIdentity,
+			MemberOf: sys.memberOf,
+		})
+		if err != nil {
+			return err
+		}
+		sys.GMManagers = append(sys.GMManagers, mgr)
+		dom.Elements[j].OnDeliver = func(seq uint64, sender string, data []byte) {
+			mgr.HandleDelivery(sender, data)
+		}
+	}
+	return nil
+}
+
+// gmTransport lets one Group Manager element reach domains and clients.
+type gmTransport struct {
+	sys        *System
+	gmIdentity string
+	senders    map[string]*sendQueue
+}
+
+var _ groupmgr.Transport = (*gmTransport)(nil)
+
+// SendOrdered implements groupmgr.Transport.
+func (t *gmTransport) SendOrdered(domain string, payload []byte) {
+	q, ok := t.senders[domain]
+	if !ok {
+		q = t.sys.newSender(t.gmIdentity, domain)
+		t.senders[domain] = q
+	}
+	q.send(payload)
+}
+
+// SendDirect implements groupmgr.Transport.
+func (t *gmTransport) SendDirect(client string, payload []byte) {
+	t.sys.Net.Send(netsim.NodeID(t.gmIdentity), netsim.NodeID(clientInboxAddr(client)), payload)
+}
+
+func clientInboxAddr(name string) string { return name + "/inbox" }
+
+func (sys *System) buildDomain(spec DomainSpec) error {
+	ring := pbft.NewKeyring()
+	dom, err := srm.NewDomain(sys.Net, srm.DomainConfig{
+		Name: spec.Name, N: spec.N, F: spec.F,
+		QueueCapacity:      sys.cfg.QueueCapacity,
+		CheckpointInterval: sys.cfg.CheckpointInterval,
+		ViewTimeout:        sys.cfg.ViewTimeout,
+		Ring:               ring,
+	})
+	if err != nil {
+		return err
+	}
+	dr := &DomainRuntime{
+		Spec: spec,
+		Info: smiop.PeerInfo{Name: spec.Name, N: spec.N, F: spec.F},
+		Dom:  dom,
+		ring: ring,
+	}
+	sys.domains[spec.Name] = dr
+	for i := 0; i < spec.N; i++ {
+		profile := DefaultProfile
+		if i < len(spec.Profiles) {
+			profile = spec.Profiles[i]
+		}
+		el, err := newElement(sys, dr, i, profile)
+		if err != nil {
+			return fmt.Errorf("replica: build %s element %d: %w", spec.Name, i, err)
+		}
+		if spec.Setup != nil {
+			if err := spec.Setup(i, el.Adapter); err != nil {
+				return fmt.Errorf("replica: setup %s element %d: %w", spec.Name, i, err)
+			}
+		}
+		dr.Elements = append(dr.Elements, el)
+	}
+	return nil
+}
+
+func (sys *System) buildClient(spec ClientSpec) error {
+	cl, err := newClient(sys, spec)
+	if err != nil {
+		return err
+	}
+	sys.clients[spec.Name] = cl
+	return nil
+}
+
+// newSender builds a queued ordered sender from an identity into a
+// domain's ordering group, registering the identity's public key in that
+// domain's PBFT keyring.
+func (sys *System) newSender(identity, target string) *sendQueue {
+	var dom *srm.Domain
+	var ring *pbft.Keyring
+	switch target {
+	case GMDomainName:
+		dom, ring = sys.gmDomain, sys.gmRing
+	default:
+		dr, ok := sys.domains[target]
+		if !ok {
+			// Unknown target: a queue whose sends vanish. The caller's
+			// higher-level call will fail by timeout at the application
+			// level; simulation code paths should not panic.
+			return &sendQueue{sendNow: func([]byte) error { return fmt.Errorf("unknown domain %s", target) }}
+		}
+		dom, ring = dr.Dom, dr.ring
+	}
+	if pub, ok := sys.globalRing.Lookup(identity); ok {
+		ring.Add(identity, pub)
+	}
+	auth := pbft.NewEd25519Auth(identity, sys.privs[identity], ring)
+	addr := fmt.Sprintf("%s/tx/%s", identity, target)
+	q := &sendQueue{}
+	sender, err := srm.NewSenderWithAuth(dom, identity, addr, auth, sys.cfg.SendTimeout)
+	if err != nil {
+		q.sendNow = func([]byte) error { return err }
+		return q
+	}
+	sender.OnAck = func(uint64) { q.acked() }
+	q.sendNow = func(data []byte) error {
+		_, err := sender.Send(data)
+		return err
+	}
+	return q
+}
+
+// --- accessors and drivers ---
+
+// Domain returns a domain runtime by name.
+func (sys *System) Domain(name string) *DomainRuntime { return sys.domains[name] }
+
+// Client returns a client runtime by name.
+func (sys *System) Client(name string) *Client { return sys.clients[name] }
+
+// Registry returns the shared interface registry.
+func (sys *System) Registry() *idl.Registry { return sys.registry }
+
+// GMInfo returns the Group Manager group description.
+func (sys *System) GMInfo() smiop.PeerInfo { return sys.gmInfo }
+
+// RunUntil drives the network until cond holds (see netsim.RunUntil).
+func (sys *System) RunUntil(cond func() bool, maxEvents int) error {
+	return sys.Net.RunUntil(cond, maxEvents)
+}
+
+// Close joins every ORB goroutine. Call when the simulation is quiescent.
+func (sys *System) Close() error {
+	var firstErr error
+	for _, dr := range sys.domains {
+		for _, el := range dr.Elements {
+			if err := el.worker.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, cl := range sys.clients {
+		if err := cl.worker.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

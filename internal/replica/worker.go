@@ -1,0 +1,105 @@
+// Package replica implements the ITDOS replication domain element runtime:
+// the composition of the mini-ORB, the SMIOP connection layer, the voting
+// streams, the session crypto and the secure reliable multicast into one
+// process image (Figure 2 of the paper), plus the singleton client runtime
+// and the System harness that wires domains, clients and the Group Manager
+// onto the simulated network.
+package replica
+
+import (
+	"fmt"
+	"sync"
+)
+
+// workerState records what the application goroutine is doing when it hands
+// control back to the network driver.
+type workerState int
+
+const (
+	// workerIdle: the last task completed; the worker waits for the next.
+	workerIdle workerState = iota + 1
+	// workerParked: the task is blocked inside a nested invocation waiting
+	// for a voted reply.
+	workerParked
+)
+
+// worker realises the paper's two-thread execution model (§3.1) as a pair
+// of coroutines: the ORB thread runs application/servant code (which may
+// block in nested invocations), while the Castro–Liskov delivery thread —
+// the network driver — keeps delivering messages. Control is handed off
+// explicitly, so exactly one of the two runs at any instant and the
+// deterministic simulator stays deterministic.
+type worker struct {
+	tasks  chan func()
+	parked chan struct{}
+	resume chan any
+	state  workerState
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// newWorker starts the ORB goroutine, initially idle.
+func newWorker() *worker {
+	w := &worker{
+		tasks:  make(chan func()),
+		parked: make(chan struct{}),
+		resume: make(chan any),
+		state:  workerIdle,
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			w.state = workerIdle
+			w.parked <- struct{}{}
+			task, ok := <-w.tasks
+			if !ok {
+				return
+			}
+			task()
+		}
+	}()
+	// Consume the initial park so the goroutine sits in <-tasks.
+	<-w.parked
+	return w
+}
+
+// runTask hands one task to the ORB goroutine and blocks until the task
+// either completes or parks in a nested invocation. It returns the
+// resulting state. Must be called from the driver.
+func (w *worker) runTask(task func()) workerState {
+	w.tasks <- task
+	<-w.parked
+	return w.state
+}
+
+// park blocks the current task until the driver resumes it with a value.
+// Must be called from inside a task (the ORB goroutine).
+func (w *worker) park() any {
+	w.state = workerParked
+	w.parked <- struct{}{}
+	return <-w.resume
+}
+
+// resumeWith wakes the parked task with v and blocks until it completes or
+// parks again. Must be called from the driver, and only while the worker
+// is parked.
+func (w *worker) resumeWith(v any) workerState {
+	w.resume <- v
+	<-w.parked
+	return w.state
+}
+
+// close shuts the ORB goroutine down. Only legal while idle.
+func (w *worker) close() error {
+	if w.closed {
+		return nil
+	}
+	if w.state != workerIdle {
+		return fmt.Errorf("replica: cannot close a busy worker")
+	}
+	w.closed = true
+	close(w.tasks)
+	w.wg.Wait()
+	return nil
+}

@@ -1,0 +1,205 @@
+package seckey
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(b byte) Key {
+	var k Key
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func pair(t *testing.T) (*Channel, *Channel) {
+	t.Helper()
+	k := testKey(7)
+	return NewChannel(k, "conn"), NewChannel(k, "conn")
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	tx, rx := pair(t)
+	for _, msg := range [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xAA}, 4096)} {
+		sealed, err := tx.Seal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rx.Open(sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round trip: got %d bytes, want %d", len(got), len(msg))
+		}
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	tx, _ := pair(t)
+	msg := bytes.Repeat([]byte("secret-content-"), 10)
+	sealed, err := tx.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, []byte("secret-content-")) {
+		t.Fatal("plaintext visible in sealed message")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	tx, _ := pair(t)
+	sealed, err := tx.Seal([]byte("integrity matters"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(sealed); i += 7 {
+		rx2 := NewChannel(testKey(7), "conn")
+		mut := append([]byte{}, sealed...)
+		mut[i] ^= 0x01
+		if _, err := rx2.Open(mut); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	tx := NewChannel(testKey(1), "conn")
+	rx := NewChannel(testKey(2), "conn")
+	sealed, _ := tx.Seal([]byte("x"))
+	if _, err := rx.Open(sealed); !errors.Is(err, ErrAuthentication) {
+		t.Fatalf("wrong key: err = %v", err)
+	}
+}
+
+func TestWrongContextRejected(t *testing.T) {
+	tx := NewChannel(testKey(1), "connA")
+	rx := NewChannel(testKey(1), "connB")
+	sealed, _ := tx.Seal([]byte("x"))
+	if _, err := rx.Open(sealed); !errors.Is(err, ErrAuthentication) {
+		t.Fatalf("cross-context message accepted: %v", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	tx, rx := pair(t)
+	sealed, _ := tx.Seal([]byte("once"))
+	if _, err := rx.Open(sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(sealed); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay accepted: %v", err)
+	}
+}
+
+func TestOutOfOrderWithinWindowAccepted(t *testing.T) {
+	tx, rx := pair(t)
+	var sealed [][]byte
+	for i := 0; i < 5; i++ {
+		s, _ := tx.Seal([]byte{byte(i)})
+		sealed = append(sealed, s)
+	}
+	for _, i := range []int{4, 1, 3, 0, 2} {
+		if _, err := rx.Open(sealed[i]); err != nil {
+			t.Fatalf("out-of-order message %d rejected: %v", i, err)
+		}
+	}
+	// Every one of them is now a replay.
+	for i := range sealed {
+		if _, err := rx.Open(sealed[i]); !errors.Is(err, ErrReplay) {
+			t.Fatalf("replay %d accepted", i)
+		}
+	}
+}
+
+func TestStaleBeyondWindowRejected(t *testing.T) {
+	tx, rx := pair(t)
+	old, _ := tx.Seal([]byte("old"))
+	var last []byte
+	for i := 0; i < 70; i++ {
+		last, _ = tx.Seal([]byte("new"))
+	}
+	if _, err := rx.Open(last); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(old); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale message beyond window accepted: %v", err)
+	}
+}
+
+func TestTruncatedRejected(t *testing.T) {
+	tx, rx := pair(t)
+	sealed, _ := tx.Seal([]byte("abcdefgh"))
+	for cut := 0; cut < len(sealed); cut++ {
+		if _, err := rx.Open(sealed[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestPairwiseKeysDistinctAndDeterministic(t *testing.T) {
+	secret := []byte("config-secret")
+	k1 := Pairwise(secret, "gm/0", "bank/1")
+	k2 := Pairwise(secret, "gm/0", "bank/1")
+	if k1 != k2 {
+		t.Fatal("pairwise key not deterministic")
+	}
+	if Pairwise(secret, "gm/0", "bank/2") == k1 {
+		t.Fatal("different elements share a pairwise key")
+	}
+	if Pairwise(secret, "gm/1", "bank/1") == k1 {
+		t.Fatal("different GM elements share a pairwise key")
+	}
+	// Separator prevents concatenation ambiguity.
+	if Pairwise(secret, "gm/0x", "y") == Pairwise(secret, "gm/0", "xy") {
+		t.Fatal("ambiguous pairwise derivation")
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	if _, err := KeyFromBytes(make([]byte, 16)); err == nil {
+		t.Fatal("short key accepted")
+	}
+	b := bytes.Repeat([]byte{9}, KeySize)
+	k, err := KeyFromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k[:], b) {
+		t.Fatal("key bytes mismatch")
+	}
+}
+
+func TestQuickSealOpenProperty(t *testing.T) {
+	prop := func(msg []byte, keyByte byte, ctx string) bool {
+		k := testKey(keyByte)
+		tx := NewChannel(k, ctx)
+		rx := NewChannel(k, ctx)
+		sealed, err := tx.Seal(msg)
+		if err != nil {
+			return false
+		}
+		got, err := rx.Open(sealed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOpenGarbageNeverPanics(t *testing.T) {
+	rx := NewChannel(testKey(3), "c")
+	prop := func(b []byte) bool {
+		_, _ = rx.Open(b)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

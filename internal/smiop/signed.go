@@ -1,0 +1,75 @@
+package smiop
+
+import (
+	"fmt"
+
+	"itdos/internal/cdr"
+)
+
+// SignedPayload is the plaintext inside a sealed data envelope: the GIOP
+// message plus the sending element's signature over it. The signature is
+// what makes fault evidence transferable: a client that detects a faulty
+// value can hand the signed messages to the Group Manager as proof
+// (paper §3.6 — "The proof is the set of signed messages through which the
+// faulty value was detected").
+type SignedPayload struct {
+	GIOP []byte
+	Sig  []byte
+}
+
+// Encode serialises the payload canonically.
+func (p *SignedPayload) Encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctets(p.GIOP)
+	e.WriteOctets(p.Sig)
+	return e.Bytes()
+}
+
+// DecodeSignedPayload parses a payload.
+func DecodeSignedPayload(buf []byte) (*SignedPayload, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	giopBytes, err := d.ReadOctets()
+	if err != nil {
+		return nil, fmt.Errorf("smiop: signed payload: %w", err)
+	}
+	sig, err := d.ReadOctets()
+	if err != nil {
+		return nil, fmt.Errorf("smiop: signed payload: %w", err)
+	}
+	return &SignedPayload{
+		GIOP: append([]byte(nil), giopBytes...),
+		Sig:  append([]byte(nil), sig...),
+	}, nil
+}
+
+// DataSigningBytes builds the byte string a data message's signature
+// covers. It binds the GIOP bytes to their full transport context —
+// connection, request id, direction and sender — so signed material cannot
+// be replayed in another context, while remaining verifiable by a third
+// party (the Group Manager) that holds only the cleartext proof.
+func DataSigningBytes(connID, requestID uint64, srcDomain string, srcMember uint32,
+	reply bool, giopBytes []byte) []byte {
+
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteString("smiop-data")
+	e.WriteULongLong(connID)
+	e.WriteULongLong(requestID)
+	e.WriteString(srcDomain)
+	e.WriteULong(srcMember)
+	e.WriteBoolean(reply)
+	e.WriteOctets(giopBytes)
+	return e.Bytes()
+}
+
+// SealSignedData signs giopBytes in the connection's data context and
+// seals the signed payload into a data envelope.
+func (c *Connection) SealSignedData(requestID uint64, reply bool, giopBytes []byte,
+	sign func(msg []byte) []byte) (*Envelope, error) {
+
+	payload := &SignedPayload{GIOP: giopBytes}
+	if sign != nil {
+		payload.Sig = sign(DataSigningBytes(c.ID, requestID, c.Local.Name,
+			uint32(c.LocalMember), reply, giopBytes))
+	}
+	return c.SealData(requestID, reply, payload.Encode())
+}

@@ -1,0 +1,355 @@
+package smiop
+
+import (
+	"fmt"
+	"math"
+
+	"itdos/internal/cdr"
+	"itdos/internal/giop"
+	"itdos/internal/idl"
+	"itdos/internal/vote"
+)
+
+// MessageVal is the unmarshalled content of one GIOP message as the voter
+// sees it: operation identity plus the decoded value tree. Two copies are
+// equivalent only if they agree on the operation, status and — under the
+// stream's float tolerance — the values (paper §3.6).
+type MessageVal struct {
+	Interface string
+	Operation string
+	IsReply   bool
+	Status    giop.ReplyStatus
+	Exception string
+	Body      cdr.Value
+	// TC is the TypeCode the Body conforms to.
+	TC *cdr.TypeCode
+	// Msg is the decoded GIOP message this value came from.
+	Msg *giop.Message
+}
+
+// msgComparator compares MessageVals: identity fields exactly, value trees
+// with the configured float tolerance.
+type msgComparator struct {
+	epsilon float64
+}
+
+var _ vote.Comparator = msgComparator{}
+
+// Equal implements vote.Comparator.
+func (c msgComparator) Equal(a, b cdr.Value) (bool, error) {
+	av, okA := a.(*MessageVal)
+	bv, okB := b.(*MessageVal)
+	if !okA || !okB {
+		return false, fmt.Errorf("smiop: comparator needs *MessageVal, got %T, %T", a, b)
+	}
+	if av.Interface != bv.Interface || av.Operation != bv.Operation ||
+		av.IsReply != bv.IsReply || av.Status != bv.Status || av.Exception != bv.Exception {
+		return false, nil
+	}
+	if !av.TC.Equal(bv.TC) {
+		return false, nil
+	}
+	feq := cdr.ExactFloatEq
+	if c.epsilon > 0 {
+		eps := c.epsilon
+		feq = func(x, y float64) bool { return x == y || math.Abs(x-y) <= eps }
+	}
+	return cdr.EqualValues(av.TC, av.Body, bv.Body, feq)
+}
+
+// Describe implements vote.Comparator.
+func (c msgComparator) Describe() string {
+	if c.epsilon > 0 {
+		return fmt.Sprintf("unmarshalled-inexact(ε=%g)", c.epsilon)
+	}
+	return "unmarshalled-exact"
+}
+
+// StreamConfig parameterises an inbound Stream.
+type StreamConfig struct {
+	// Registry resolves operation signatures for unmarshalling.
+	Registry *idl.Registry
+	// Epsilon enables inexact float voting when > 0.
+	Epsilon float64
+	// Mode selects the voter decision policy (default: the paper's eager
+	// f+1 rule).
+	Mode vote.Mode
+	// AutoAdvance lets the stream open a vote when a copy with a request
+	// id above the current one arrives (server side, where peers originate
+	// request ids). When false, votes open only via ExpectReply (client
+	// side).
+	AutoAdvance bool
+	// ByteVoting bypasses unmarshalling and votes on raw GIOP bytes —
+	// the Immune/Rampart behaviour the paper shows breaks under
+	// heterogeneity (experiment C2).
+	ByteVoting bool
+	// VerifySig authenticates the sending element's signature over its
+	// data context (see DataSigningBytes). Nil disables per-message
+	// signature verification (benchmark ablations only).
+	VerifySig func(srcDomain string, member uint32, signingBytes, sig []byte) bool
+}
+
+// Stream is the inbound half of a connection at one element: it
+// authenticates, decrypts, unmarshals and votes the peer domain's message
+// copies, emitting one agreed message per request id. This is the
+// Voter + Marshal + Queue-Management slice of the Figure 2 stack.
+type Stream struct {
+	cfg   StreamConfig
+	conn  *Connection
+	cv    *vote.ConnectionVoter
+	frags *reassembler
+
+	// expectedOp records the operation a reply should answer, keyed at
+	// ExpectReply time.
+	expectedIface, expectedOp string
+
+	// OnMessage receives each voted message exactly once.
+	OnMessage func(val *MessageVal, dec *vote.Decision)
+	// OnFault receives conflicting-copy evidence (input to
+	// change_request, paper §3.6).
+	OnFault func(member int, report vote.FaultReport)
+	// OnPostDecision receives envelopes for the current request id that
+	// arrive after its vote has decided — typically a peer retrying a
+	// request whose reply it could not read (e.g. across a rekey). Servers
+	// use it to resend the cached reply without re-executing.
+	OnPostDecision func(env *Envelope, val *MessageVal)
+
+	// Dropped counts envelopes rejected before voting (decryption failure,
+	// malformed GIOP, unknown operation).
+	Dropped uint64
+
+	// faultsForwarded tracks how many voter fault reports have been passed
+	// to OnFault.
+	faultsForwarded int
+}
+
+// NewStream builds the inbound pipeline for conn.
+func NewStream(conn *Connection, cfg StreamConfig) (*Stream, error) {
+	if cfg.Registry == nil && !cfg.ByteVoting {
+		return nil, fmt.Errorf("smiop: stream needs an idl.Registry")
+	}
+	cv, err := vote.NewConnectionVoter(conn.Peer.N, conn.Peer.F, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{cfg: cfg, conn: conn, cv: cv, frags: newReassembler()}, nil
+}
+
+// Voter exposes the connection voter (stats, tests).
+func (s *Stream) Voter() *vote.ConnectionVoter { return s.cv }
+
+func (s *Stream) comparator() vote.Comparator {
+	if s.cfg.ByteVoting {
+		return vote.ByteExact{}
+	}
+	return msgComparator{epsilon: s.cfg.Epsilon}
+}
+
+// ExpectReply arms the voter for the reply to an outbound request
+// (client side). The operation identifies the result TypeCode.
+func (s *Stream) ExpectReply(requestID uint64, iface, op string) error {
+	s.expectedIface, s.expectedOp = iface, op
+	if err := s.cv.Expect(requestID, s.comparator()); err != nil {
+		return err
+	}
+	s.faultsForwarded = 0
+	s.frags.reset()
+	return nil
+}
+
+// RetryReply re-arms the voter for the same request id with fresh state —
+// the retry path after a rekey killed the in-flight vote.
+func (s *Stream) RetryReply(requestID uint64, iface, op string) error {
+	s.expectedIface, s.expectedOp = iface, op
+	if err := s.cv.Redo(requestID, s.comparator()); err != nil {
+		return err
+	}
+	s.faultsForwarded = 0
+	s.frags.reset()
+	return nil
+}
+
+// Deliver processes one inbound data envelope through the full pipeline.
+// Errors are diagnostic: the stream has already accounted for the envelope
+// (dropped or submitted) when Deliver returns.
+func (s *Stream) Deliver(env *Envelope) error {
+	if s.cfg.AutoAdvance && env.RequestID > s.cv.CurrentID() {
+		if err := s.cv.Expect(env.RequestID, s.comparator()); err != nil {
+			return err
+		}
+		s.faultsForwarded = 0
+		s.frags.reset()
+	}
+	if env.RequestID != s.cv.CurrentID() {
+		// Late or Byzantine — indistinguishable; discard without penalty
+		// (paper §3.6).
+		s.cv.Discarded++
+		return nil
+	}
+	plaintext, err := s.conn.OpenData(env)
+	if err != nil {
+		s.Dropped++
+		return err
+	}
+	// Fragmented messages reassemble before verification; incomplete
+	// messages simply wait for their remaining fragments.
+	plaintext, err = s.frags.add(env, plaintext)
+	if err != nil {
+		s.Dropped++
+		return err
+	}
+	if plaintext == nil {
+		return nil
+	}
+	payload, err := DecodeSignedPayload(plaintext)
+	if err != nil {
+		s.Dropped++
+		return err
+	}
+	if s.cfg.VerifySig != nil {
+		signing := DataSigningBytes(env.ConnID, env.RequestID, env.SrcDomain,
+			env.SrcMember, env.Reply, payload.GIOP)
+		if !s.cfg.VerifySig(env.SrcDomain, env.SrcMember, signing, payload.Sig) {
+			s.Dropped++
+			return fmt.Errorf("smiop: conn %d member %d: bad message signature",
+				s.conn.ID, env.SrcMember)
+		}
+	}
+	giopBytes := payload.GIOP
+	raw := plaintext // evidence: signed payload (GIOP + signature)
+	var sub vote.Submission
+	if s.cfg.ByteVoting {
+		sub = vote.Submission{
+			Member: int(env.SrcMember),
+			Value:  giopBytes,
+			Raw:    raw,
+		}
+	} else {
+		val, err := s.unmarshal(giopBytes)
+		if err != nil {
+			s.Dropped++
+			return err
+		}
+		sub = vote.Submission{Member: int(env.SrcMember), Value: val, Raw: raw}
+	}
+	decidedBefore := s.cv.Voter() != nil && s.cv.Voter().Decided()
+	dec, err := s.cv.Submit(env.RequestID, sub)
+	if err != nil {
+		return err
+	}
+	s.reportFaults()
+	if decidedBefore && s.OnPostDecision != nil {
+		// Copy arriving after the decision: surface it so acceptors can
+		// answer retries idempotently. Conflicting copies were already
+		// reported through OnFault above.
+		var pv *MessageVal
+		if mv, ok := sub.Value.(*MessageVal); ok {
+			pv = mv
+		}
+		s.OnPostDecision(env, pv)
+	}
+	if dec != nil && s.OnMessage != nil {
+		var val *MessageVal
+		if s.cfg.ByteVoting {
+			rawPayload, err := DecodeSignedPayload(dec.Raw)
+			if err != nil {
+				return err
+			}
+			val, err = s.buildVal(rawPayload.GIOP)
+			if err != nil {
+				return err
+			}
+		} else {
+			val = dec.Value.(*MessageVal)
+		}
+		s.OnMessage(val, dec)
+	}
+	return nil
+}
+
+// buildVal decodes a GIOP message into a MessageVal (used by the
+// byte-voting path, whose comparisons never unmarshal but whose consumers
+// still need the message identity and values).
+func (s *Stream) buildVal(giopBytes []byte) (*MessageVal, error) {
+	if s.cfg.Registry != nil {
+		return s.unmarshal(giopBytes)
+	}
+	msg, err := giop.Decode(giopBytes)
+	if err != nil {
+		return nil, err
+	}
+	val := &MessageVal{Msg: msg}
+	if msg.Type == giop.MsgReply {
+		val.IsReply = true
+		val.Interface = s.expectedIface
+		val.Operation = s.expectedOp
+		val.Status = msg.Reply.Status
+		val.Exception = msg.Reply.Exception
+	} else if msg.Request != nil {
+		val.Interface = msg.Request.Interface
+		val.Operation = msg.Request.Operation
+	}
+	return val, nil
+}
+
+// reportFaults forwards newly observed conflicting copies.
+func (s *Stream) reportFaults() {
+	if s.OnFault == nil {
+		return
+	}
+	faults := s.cv.Faults()
+	for s.faultsForwarded < len(faults) {
+		f := faults[s.faultsForwarded]
+		s.faultsForwarded++
+		s.OnFault(f.Member, f)
+	}
+}
+
+func (s *Stream) unmarshal(giopBytes []byte) (*MessageVal, error) {
+	msg, err := giop.Decode(giopBytes)
+	if err != nil {
+		return nil, fmt.Errorf("smiop: conn %d: %w", s.conn.ID, err)
+	}
+	switch msg.Type {
+	case giop.MsgRequest:
+		req := msg.Request
+		op, err := s.cfg.Registry.Lookup(req.Interface, req.Operation)
+		if err != nil {
+			return nil, err
+		}
+		tc := op.ParamsType()
+		body, err := cdr.Unmarshal(tc, req.Body, msg.Order)
+		if err != nil {
+			return nil, fmt.Errorf("smiop: unmarshal %s.%s params: %w",
+				req.Interface, req.Operation, err)
+		}
+		return &MessageVal{
+			Interface: req.Interface, Operation: req.Operation,
+			Body: body, TC: tc, Msg: msg,
+		}, nil
+	case giop.MsgReply:
+		rep := msg.Reply
+		val := &MessageVal{
+			Interface: s.expectedIface, Operation: s.expectedOp,
+			IsReply: true, Status: rep.Status, Exception: rep.Exception,
+			TC: cdr.Void, Msg: msg,
+		}
+		if rep.Status == giop.StatusNoException {
+			op, err := s.cfg.Registry.Lookup(s.expectedIface, s.expectedOp)
+			if err != nil {
+				return nil, err
+			}
+			tc := op.ResultsType()
+			body, err := cdr.Unmarshal(tc, rep.Body, msg.Order)
+			if err != nil {
+				return nil, fmt.Errorf("smiop: unmarshal %s.%s results: %w",
+					s.expectedIface, s.expectedOp, err)
+			}
+			val.Body = body
+			val.TC = tc
+		}
+		return val, nil
+	default:
+		return nil, fmt.Errorf("smiop: unexpected GIOP %s in data envelope", msg.Type)
+	}
+}

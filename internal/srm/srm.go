@@ -1,0 +1,349 @@
+// Package srm implements ITDOS's Secure Reliable Multicast layer
+// (paper §3.1): the adaptation of the Castro–Liskov request/response +
+// state-transfer protocol into a totally-ordered *message passing*
+// transport suitable for a CORBA ORB.
+//
+// The key idea from the paper: the replicated state machine PBFT drives is
+// not the application object state but a *message queue*. Every message
+// multicast to a replication domain is totally ordered by PBFT and appended
+// to the queue; the PBFT-level reply is a static acknowledgement; the
+// CORBA-level replies flow as ordinary messages in the opposite direction.
+// Whenever Castro–Liskov synchronises replica state, it synchronises the
+// queue — so state synchronisation cost is independent of application
+// object count ("scalable to large object servers", paper §1, §5).
+//
+// The queue is garbage-collected to bound the contiguous memory block
+// (paper: "the message queue must be garbage-collected ... this step
+// essentially adds virtual synchrony to the system"): a replica that falls
+// so far behind that the messages it needs have been collected cannot be
+// resynchronised and must be expelled — the OnDesync callback surfaces
+// exactly that condition.
+package srm
+
+import (
+	"fmt"
+	"time"
+
+	"itdos/internal/cdr"
+	"itdos/internal/netsim"
+	"itdos/internal/pbft"
+)
+
+// Ack is the static PBFT-level reply acknowledging that a message was
+// ordered and enqueued (paper §3.1: "The reply expected at the
+// Castro-Liskov layer is a static reply that acts as an acknowledgement").
+var Ack = []byte("SRM-ACK")
+
+// queuedMsg is one totally-ordered message.
+type queuedMsg struct {
+	seq    uint64
+	sender string
+	data   []byte
+}
+
+// Queue is the replicated state machine: an ordered window of delivered
+// messages. It implements pbft.App. All replicas execute the same
+// operations in the same order, so their queues — and therefore their
+// snapshots — are identical.
+type Queue struct {
+	window  []queuedMsg
+	nextSeq uint64
+	// capacity bounds the retained window (the "contiguous block of
+	// memory" of the paper); older messages are garbage-collected.
+	capacity int
+
+	// onAppend delivers each newly ordered message locally.
+	onAppend func(seq uint64, sender string, data []byte)
+	// onRestore fires after a state transfer replaced the queue, so the
+	// element can replay retained messages before execution resumes.
+	onRestore func()
+}
+
+var _ pbft.App = (*Queue)(nil)
+
+// NewQueue creates a queue retaining at most capacity messages.
+func NewQueue(capacity int, onAppend func(seq uint64, sender string, data []byte)) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{capacity: capacity, onAppend: onAppend, nextSeq: 1}
+}
+
+// Execute implements pbft.App: append the message and return the static
+// acknowledgement.
+func (q *Queue) Execute(clientID string, op []byte) []byte {
+	seq := q.nextSeq
+	q.nextSeq++
+	q.window = append(q.window, queuedMsg{seq: seq, sender: clientID, data: append([]byte(nil), op...)})
+	if len(q.window) > q.capacity {
+		q.window = append([]queuedMsg(nil), q.window[len(q.window)-q.capacity:]...)
+	}
+	if q.onAppend != nil {
+		q.onAppend(seq, clientID, op)
+	}
+	return Ack
+}
+
+// NextSeq returns the sequence number the next message will receive.
+func (q *Queue) NextSeq() uint64 { return q.nextSeq }
+
+// WindowStart returns the oldest retained sequence number (0 if empty).
+func (q *Queue) WindowStart() uint64 {
+	if len(q.window) == 0 {
+		return 0
+	}
+	return q.window[0].seq
+}
+
+// Len returns the number of retained messages.
+func (q *Queue) Len() int { return len(q.window) }
+
+// Snapshot implements pbft.App with a canonical encoding.
+func (q *Queue) Snapshot() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULongLong(q.nextSeq)
+	e.WriteULong(uint32(len(q.window)))
+	for _, m := range q.window {
+		e.WriteULongLong(m.seq)
+		e.WriteString(m.sender)
+		e.WriteOctets(m.data)
+	}
+	return e.Bytes()
+}
+
+// Restore implements pbft.App.
+func (q *Queue) Restore(snapshot []byte) error {
+	d := cdr.NewDecoder(snapshot, cdr.BigEndian)
+	nextSeq, err := d.ReadULongLong()
+	if err != nil {
+		return fmt.Errorf("srm: queue snapshot: %w", err)
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return fmt.Errorf("srm: queue snapshot: %w", err)
+	}
+	if int(n) > q.capacity {
+		return fmt.Errorf("srm: snapshot window %d exceeds capacity %d", n, q.capacity)
+	}
+	window := make([]queuedMsg, 0, n)
+	for i := 0; i < int(n); i++ {
+		seq, err := d.ReadULongLong()
+		if err != nil {
+			return err
+		}
+		sender, err := d.ReadString()
+		if err != nil {
+			return err
+		}
+		data, err := d.ReadOctets()
+		if err != nil {
+			return err
+		}
+		window = append(window, queuedMsg{seq: seq, sender: sender, data: append([]byte(nil), data...)})
+	}
+	q.nextSeq = nextSeq
+	q.window = window
+	if q.onRestore != nil {
+		q.onRestore()
+	}
+	return nil
+}
+
+// messages returns the retained window (borrowed, do not modify).
+func (q *Queue) messages() []queuedMsg { return q.window }
+
+// Element is one replication domain element's SRM endpoint: a PBFT replica
+// whose application is the message queue, plus the local delivery cursor.
+type Element struct {
+	Replica *pbft.Replica
+	queue   *Queue
+
+	lastDelivered uint64
+
+	// OnDeliver receives every totally-ordered message exactly once, in
+	// order, with the authenticated identity of its sender. It runs on the
+	// delivery path (the "Castro-Liskov thread").
+	OnDeliver func(seq uint64, sender string, data []byte)
+
+	// OnDesync fires when garbage collection has outrun this element: the
+	// messages needed to catch up are gone, so the element must be expelled
+	// and (in a fuller system) replaced — the virtual-synchrony expulsion
+	// of paper §3.1.
+	OnDesync func(gapStart, gapEnd uint64)
+}
+
+// Domain is a replication domain: a named group of SRM elements sharing a
+// PBFT group.
+type Domain struct {
+	Name     string
+	N, F     int
+	Elements []*Element
+	Group    *pbft.SimGroup
+}
+
+// DomainConfig parameterises NewDomain.
+type DomainConfig struct {
+	// Name is the replication domain name (also the transport address
+	// prefix).
+	Name string
+	// N, F is the group size and failure bound (N >= 3F+1).
+	N, F int
+	// QueueCapacity bounds each element's retained message window.
+	QueueCapacity int
+	// CheckpointInterval, ViewTimeout tune the underlying PBFT group.
+	CheckpointInterval uint64
+	ViewTimeout        time.Duration
+	// Ring carries Ed25519 identities; nil selects null authentication.
+	Ring *pbft.Keyring
+}
+
+// NewDomain builds a replication domain on the simulated network.
+func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
+	if cfg.QueueCapacity == 0 {
+		cfg.QueueCapacity = 1024
+	}
+	d := &Domain{Name: cfg.Name, N: cfg.N, F: cfg.F}
+	elements := make([]*Element, cfg.N)
+	for i := range elements {
+		elements[i] = &Element{}
+	}
+	group, err := pbft.NewSimGroup(net, cfg.Name, pbft.Config{
+		N: cfg.N, F: cfg.F,
+		CheckpointInterval: cfg.CheckpointInterval,
+		ViewTimeout:        cfg.ViewTimeout,
+	}, cfg.Ring, func(i int) pbft.App {
+		el := elements[i]
+		el.queue = NewQueue(cfg.QueueCapacity, func(seq uint64, sender string, data []byte) {
+			el.deliver(seq, sender, data)
+		})
+		el.queue.onRestore = el.Resynchronise
+		return el.queue
+	})
+	if err != nil {
+		return nil, fmt.Errorf("srm: build domain %s: %w", cfg.Name, err)
+	}
+	for i, el := range elements {
+		el.Replica = group.Replicas[i]
+	}
+	d.Elements = elements
+	d.Group = group
+	return d, nil
+}
+
+// Addrs returns the domain's element transport addresses.
+func (d *Domain) Addrs() []netsim.NodeID { return d.Group.Addrs }
+
+// deliver pushes one freshly ordered message to the consumer.
+func (el *Element) deliver(seq uint64, sender string, data []byte) {
+	if seq != el.lastDelivered+1 {
+		// Ordered execution is sequential, so this indicates a restore
+		// happened without replay — handled in Resynchronise.
+		if el.OnDesync != nil {
+			el.OnDesync(el.lastDelivered+1, seq)
+		}
+	}
+	el.lastDelivered = seq
+	if el.OnDeliver != nil {
+		el.OnDeliver(seq, sender, data)
+	}
+}
+
+// Resynchronise replays retained messages after a PBFT state transfer
+// replaced the queue. Messages the element never delivered are replayed in
+// order; if garbage collection already discarded part of the gap, OnDesync
+// fires and the element stops (it must be expelled).
+//
+// Call this from the same single-threaded driver as the PBFT replica after
+// observing a state transfer (Element wiring does this automatically when
+// built through Stack in the replica package).
+func (el *Element) Resynchronise() {
+	start := el.queue.WindowStart()
+	if start == 0 { // empty queue
+		if el.queue.NextSeq() > el.lastDelivered+1 {
+			el.desync(el.lastDelivered+1, el.queue.NextSeq()-1)
+		}
+		return
+	}
+	if start > el.lastDelivered+1 {
+		// Hole between what we delivered and what is retained: virtual
+		// synchrony is lost for this element.
+		el.desync(el.lastDelivered+1, start-1)
+		return
+	}
+	for _, m := range el.queue.messages() {
+		if m.seq <= el.lastDelivered {
+			continue
+		}
+		el.lastDelivered = m.seq
+		if el.OnDeliver != nil {
+			el.OnDeliver(m.seq, m.sender, m.data)
+		}
+	}
+}
+
+func (el *Element) desync(gapStart, gapEnd uint64) {
+	if el.OnDesync != nil {
+		el.OnDesync(gapStart, gapEnd)
+	}
+}
+
+// LastDelivered returns the last sequence number handed to OnDeliver.
+func (el *Element) LastDelivered() uint64 { return el.lastDelivered }
+
+// Queue exposes the element's queue (primarily for tests and benchmarks).
+func (el *Element) Queue() *Queue { return el.queue }
+
+// Sender multicasts messages into a replication domain: it is a PBFT
+// client of that domain's ordering group. The PBFT-level result is the
+// static acknowledgement; OnAck fires when 1+f matching ACKs arrive,
+// confirming the message was durably ordered.
+type Sender struct {
+	Client *pbft.Client
+
+	// OnAck, if set, observes each acknowledged send.
+	OnAck func(clientSeq uint64)
+}
+
+// NewSender builds a sender with identity id at transport address addr,
+// targeting domain d. Ring must be the same keyring the domain uses (nil
+// for null auth).
+func NewSender(d *Domain, id, addr string, ring *pbft.Keyring, timeout time.Duration) (*Sender, error) {
+	s := &Sender{}
+	cli, err := d.Group.NewSimClient(id, addr, ring, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("srm: sender %s: %w", id, err)
+	}
+	s.wire(cli)
+	return s, nil
+}
+
+// NewSenderWithAuth builds a sender using an existing authenticator whose
+// public key is already registered in the domain's keyring.
+func NewSenderWithAuth(d *Domain, id, addr string, auth pbft.Authenticator, timeout time.Duration) (*Sender, error) {
+	s := &Sender{}
+	cli, err := d.Group.NewSimClientWithAuth(id, addr, auth, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("srm: sender %s: %w", id, err)
+	}
+	s.wire(cli)
+	return s, nil
+}
+
+func (s *Sender) wire(cli *pbft.Client) {
+	cli.OnResult = func(seq uint64, result []byte) {
+		// The static ACK is the only valid PBFT-level reply.
+		if string(result) != string(Ack) {
+			return
+		}
+		if s.OnAck != nil {
+			s.OnAck(seq)
+		}
+	}
+	s.Client = cli
+}
+
+// Send multicasts data into the domain, returning the send's local
+// sequence number.
+func (s *Sender) Send(data []byte) (uint64, error) {
+	return s.Client.Invoke(data)
+}

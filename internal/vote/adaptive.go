@@ -1,0 +1,106 @@
+package vote
+
+import (
+	"fmt"
+
+	"itdos/internal/cdr"
+)
+
+// Adaptive implements the adaptive voting the paper lists as future work
+// (§4, citing Parameswaran/Blough/Bakken's precision-vs-fault-tolerance
+// investigation [32]): it starts at the tightest precision and widens the
+// comparison tolerance only when the vote stalls — when no ε-class can
+// reach f+1 even if every remaining member answers.
+//
+// Widening trades precision for fault tolerance: a decision at a wide ε is
+// more likely to mask a subtly wrong value, so Adaptive records the ε that
+// finally decided.
+type Adaptive struct {
+	n, f int
+	mode Mode
+	tc   *cdr.TypeCode
+	// epsilons is the widening schedule, strictly increasing.
+	epsilons []float64
+
+	subs     []Submission
+	level    int
+	voter    *Voter
+	decision *Decision
+}
+
+// NewAdaptive builds an adaptive voter over values of type tc with the
+// given widening schedule.
+func NewAdaptive(n, f int, mode Mode, tc *cdr.TypeCode, epsilons []float64) (*Adaptive, error) {
+	if len(epsilons) == 0 {
+		return nil, fmt.Errorf("vote: adaptive voter needs a widening schedule")
+	}
+	for i := 1; i < len(epsilons); i++ {
+		if epsilons[i] <= epsilons[i-1] {
+			return nil, fmt.Errorf("vote: widening schedule must increase: %v", epsilons)
+		}
+	}
+	a := &Adaptive{n: n, f: f, mode: mode, tc: tc, epsilons: epsilons}
+	if err := a.rebuild(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Adaptive) rebuild() error {
+	v, err := NewVoter(Config{
+		N: a.n, F: a.f, Mode: a.mode,
+		Comparator: Inexact{TC: a.tc, Epsilon: a.epsilons[a.level]},
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range a.subs {
+		if d, err := v.Submit(s); err != nil {
+			return err
+		} else if d != nil {
+			a.decision = d
+		}
+	}
+	a.voter = v
+	return nil
+}
+
+// Epsilon returns the tolerance currently in force.
+func (a *Adaptive) Epsilon() float64 { return a.epsilons[a.level] }
+
+// Decision returns the decision, or nil while the vote is open.
+func (a *Adaptive) Decision() *Decision { return a.decision }
+
+// Submit records one member's value, escalating the tolerance when the
+// vote stalls at the current precision.
+func (a *Adaptive) Submit(s Submission) (*Decision, error) {
+	if a.decision != nil {
+		// Feed late submissions to the underlying voter for fault
+		// detection only.
+		_, err := a.voter.Submit(s)
+		return nil, err
+	}
+	a.subs = append(a.subs, s)
+	d, err := a.voter.Submit(s)
+	if err != nil {
+		return nil, err
+	}
+	if d != nil {
+		a.decision = d
+		return d, nil
+	}
+	// Escalate while stalled and a wider tolerance remains.
+	for a.voter.Stalled() && a.level+1 < len(a.epsilons) {
+		a.level++
+		if err := a.rebuild(); err != nil {
+			return nil, err
+		}
+		if a.decision != nil {
+			return a.decision, nil
+		}
+	}
+	return nil, nil
+}
+
+// Faults returns fault reports at the current precision level.
+func (a *Adaptive) Faults() []FaultReport { return a.voter.Faults() }

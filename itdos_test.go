@@ -1,0 +1,74 @@
+package itdos_test
+
+import (
+	"testing"
+	"time"
+
+	"itdos"
+)
+
+const echoIface = "IDL:demo/Echo:1.0"
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	reg := itdos.NewRegistry()
+	reg.Register(itdos.NewInterface(echoIface).
+		Op("echo",
+			[]itdos.Param{{Name: "in", Type: itdos.String}},
+			[]itdos.Param{{Name: "out", Type: itdos.String}}).
+		Op("sum",
+			[]itdos.Param{{Name: "xs", Type: itdos.SequenceOf(itdos.Double)}},
+			[]itdos.Param{{Name: "total", Type: itdos.Double}}))
+
+	sys, err := itdos.NewSystem(itdos.Config{
+		Seed:     42,
+		Latency:  itdos.UniformLatency(time.Millisecond, 2*time.Millisecond),
+		Registry: reg,
+		Domains: []itdos.DomainSpec{{
+			Name: "echo", N: 4, F: 1,
+			Profiles: []itdos.Profile{
+				itdos.SolarisLike, itdos.LinuxLike, itdos.SolarisLike, itdos.LinuxLike,
+			},
+			Setup: func(member int, a *itdos.Adapter) error {
+				return a.Register("echo-1", echoIface, itdos.ServantFunc(
+					func(ctx *itdos.CallContext, op string, args []itdos.Value) ([]itdos.Value, error) {
+						switch op {
+						case "echo":
+							return []itdos.Value{args[0]}, nil
+						case "sum":
+							total := 0.0
+							for _, x := range args[0].([]itdos.Value) {
+								total += x.(float64)
+							}
+							return []itdos.Value{total}, nil
+						}
+						return nil, &itdos.UserException{Name: "IDL:demo/NoSuchOp:1.0"}
+					}))
+			},
+		}},
+		Clients: []itdos.ClientSpec{{Name: "alice"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	ref := itdos.ObjectRef{Domain: "echo", ObjectKey: "echo-1", Interface: echoIface}
+	alice := sys.Client("alice")
+
+	out, err := alice.CallAndRun(ref, "echo", []itdos.Value{"hello itdos"}, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(string) != "hello itdos" {
+		t.Fatalf("echo = %q", out[0])
+	}
+
+	out, err = alice.CallAndRun(ref, "sum",
+		[]itdos.Value{[]itdos.Value{1.5, 2.5, 3.0}}, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(float64) != 7.0 {
+		t.Fatalf("sum = %v", out[0])
+	}
+}
