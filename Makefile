@@ -1,0 +1,45 @@
+# ITDOS development targets. `make check` is the tier-1 verify recipe: run
+# it before every commit. Everything here uses only the Go toolchain.
+
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: check build vet lint test race fuzz fuzz-smoke corpus clean
+
+check: build vet lint race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/itdos-lint ./...
+
+test:
+	$(GO) test ./...
+
+# Heavy experiment regressions (internal/bench) opt out of -short; the race
+# detector's ~10x slowdown would push them past the test timeout, and the
+# non-race `make test` still covers them.
+race:
+	$(GO) test -race -short ./...
+
+# Continuous fuzzing of each decoder boundary, FUZZTIME per target.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzCDRDecode -fuzztime=$(FUZZTIME) ./internal/cdr
+	$(GO) test -run='^$$' -fuzz=FuzzGIOPParse -fuzztime=$(FUZZTIME) ./internal/giop
+	$(GO) test -run='^$$' -fuzz=FuzzSMIOPReassemble -fuzztime=$(FUZZTIME) ./internal/smiop
+	$(GO) test -run='^$$' -fuzz=FuzzSealedOpen -fuzztime=$(FUZZTIME) ./internal/seckey
+
+# Replay the committed seed corpora without fuzzing (fast; part of CI).
+fuzz-smoke:
+	$(GO) test -run='Fuzz' ./internal/cdr ./internal/giop ./internal/smiop ./internal/seckey
+
+# Regenerate the committed fuzz seed corpora from golden vectors.
+corpus:
+	$(GO) test -tags corpusgen -run 'TestGen.*Corpus' ./internal/cdr ./internal/giop ./internal/smiop ./internal/seckey
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// checkCTMAC protects communication-key confidentiality (paper §2, §3.5):
+// a variable-time comparison of MAC or digest material leaks how many bytes
+// matched, which an adversary with a timing side channel can turn into a
+// forgery oracle. All authenticator comparisons in the key-handling layers
+// must go through hmac.Equal or subtle.ConstantTimeCompare.
+var checkCTMAC = &Check{
+	Name:  "ct-mac",
+	Doc:   "requires constant-time comparison (hmac.Equal / subtle.ConstantTimeCompare) for MAC/digest material",
+	Paths: []string{"internal/seckey", "internal/smiop", "internal/dprf"},
+	Run:   runCTMAC,
+}
+
+// secretNameRe matches identifiers that plausibly hold authenticator bytes.
+var secretNameRe = regexp.MustCompile(`(?i)(mac|tag|digest|sig|sum|hash|seal)`)
+
+func runCTMAC(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Info, n)
+				for _, bc := range byteCompareFuncs {
+					if isPkgFunc(fn, bc[0], bc[1]) && anyArgSuggestsSecret(n.Args) {
+						p.Reportf(n.Pos(), "%s.%s on MAC/digest material is not constant-time; use hmac.Equal or subtle.ConstantTimeCompare", bc[0], bc[1])
+						break
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isByteArray(p.Info.TypeOf(n.X)) && isByteArray(p.Info.TypeOf(n.Y)) &&
+					(exprSuggestsSecret(n.X) || exprSuggestsSecret(n.Y)) {
+					p.Reportf(n.Pos(), "array comparison of MAC/digest material is not constant-time; compare with subtle.ConstantTimeCompare over slices")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func anyArgSuggestsSecret(args []ast.Expr) bool {
+	for _, a := range args {
+		if exprSuggestsSecret(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprSuggestsSecret reports whether any identifier inside e names
+// authenticator-like material.
+func exprSuggestsSecret(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && secretNameRe.MatchString(id.Name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isByteArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}

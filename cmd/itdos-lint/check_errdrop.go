@@ -1,0 +1,106 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkErrDrop keeps the Byzantine parsing surface honest: every byte
+// crossing SMIOP arrives from a potentially compromised replica, and the
+// decode/encode layers signal malice exclusively through error returns. A
+// discarded error silently accepts adversarial input (the failure layer
+// SecureSMART shows BFT systems actually break in).
+var checkErrDrop = &Check{
+	Name:  "err-drop",
+	Doc:   "forbids discarded error returns on encode/decode paths",
+	Paths: []string{"internal/cdr", "internal/giop", "internal/smiop"},
+	Run:   runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					errDropCallStmt(p, call, "")
+				}
+			case *ast.DeferStmt:
+				errDropCallStmt(p, n.Call, "defer ")
+			case *ast.GoStmt:
+				errDropCallStmt(p, n.Call, "go ")
+			case *ast.AssignStmt:
+				errDropAssign(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// errDropCallStmt flags a call used as a statement whose results include an
+// error.
+func errDropCallStmt(p *Pass, call *ast.CallExpr, prefix string) {
+	if !callReturnsError(p.Info, call) {
+		return
+	}
+	p.Reportf(call.Pos(), "%serror result of %s discarded; Byzantine input is only visible through this error", prefix, callName(call))
+}
+
+// errDropAssign flags blank-identifier assignment of error-typed results.
+func errDropAssign(p *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// x, _ := f(): align with the call's result tuple.
+		tup, ok := p.Info.TypeOf(as.Rhs[0]).(*types.Tuple)
+		if !ok || tup.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErrorType(tup.At(i).Type()) {
+				p.Reportf(lhs.Pos(), "error assigned to blank identifier; Byzantine input is only visible through this error")
+			}
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErrorType(p.Info.TypeOf(as.Rhs[i])) {
+				p.Reportf(lhs.Pos(), "error assigned to blank identifier; Byzantine input is only visible through this error")
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// callName renders a short name for the called function, for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

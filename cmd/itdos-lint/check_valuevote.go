@@ -1,0 +1,46 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// checkValueVote guards the paper's central claim (§4): heterogeneous
+// replicas legitimately produce different byte streams for the same values
+// (endianness, padding, float formatting), so the voter must compare
+// *unmarshalled* CDR values — byte-level equality inside internal/vote is
+// the exact bug class the paper exists to avoid.
+var checkValueVote = &Check{
+	Name:  "value-vote",
+	Doc:   "forbids raw-byte equality (bytes.Equal etc.) inside the voter; vote on unmarshalled CDR values",
+	Paths: []string{"internal/vote"},
+	Run:   runValueVote,
+}
+
+// byteCompareFuncs are package-level byte/structural comparators that defeat
+// value-level voting when applied to marshalled buffers.
+var byteCompareFuncs = [][2]string{
+	{"bytes", "Equal"},
+	{"bytes", "Compare"},
+	{"reflect", "DeepEqual"},
+	{"slices", "Equal"},
+	{"slices", "EqualFunc"},
+}
+
+func runValueVote(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			for _, bc := range byteCompareFuncs {
+				if isPkgFunc(fn, bc[0], bc[1]) {
+					p.Reportf(call.Pos(), "%s.%s compares raw bytes; ITDOS votes on unmarshalled CDR values (cdr.EqualValues, paper §4) — heterogeneous replicas marshal the same value to different bytes", bc[0], bc[1])
+					break
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// findModuleRoot walks up from dir to the nearest directory containing a
+// go.mod and returns that directory and the declared module path.
+func findModuleRoot(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			mp := parseModulePath(data)
+			if mp == "" {
+				return "", "", fmt.Errorf("itdos-lint: %s/go.mod has no module directive", d)
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("itdos-lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func parseModulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok && rest != "" && (rest[0] == ' ' || rest[0] == '\t') {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// findPackageDirs lists, as slash-separated module-relative paths, every
+// directory under root that holds at least one non-test .go file. The same
+// directories the go tool ignores (testdata, vendor, "." and "_" prefixes)
+// are skipped.
+func findPackageDirs(root string) ([]string, error) {
+	var rels []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				rels = append(rels, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(rels)
+	return rels, err
+}
+
+// pkgInfo is one parsed and type-checked package.
+type pkgInfo struct {
+	ImportPath string
+	RelDir     string // module-relative directory, "." for the root package
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrs   []error
+}
+
+// loader parses and type-checks module packages without go/packages: imports
+// inside the module resolve recursively through the loader itself, everything
+// else goes to the stdlib source importer.
+type loader struct {
+	fset         *token.FileSet
+	root         string
+	modPath      string
+	includeTests bool
+	std          types.Importer
+	pkgs         map[string]*pkgInfo
+	loading      map[string]bool
+	sources      map[string][]byte // filename -> raw source, for nolint parsing
+}
+
+func newLoader(root, modPath string, includeTests bool) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:         fset,
+		root:         root,
+		modPath:      modPath,
+		includeTests: includeTests,
+		std:          importer.ForCompiler(fset, "source", nil),
+		pkgs:         make(map[string]*pkgInfo),
+		loading:      make(map[string]bool),
+		sources:      make(map[string][]byte),
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pi, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pi.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) relDir(importPath string) string {
+	if importPath == l.modPath {
+		return "."
+	}
+	return strings.TrimPrefix(importPath, l.modPath+"/")
+}
+
+// load parses and type-checks one module package by import path.
+func (l *loader) load(importPath string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[importPath]; ok {
+		return pi, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("itdos-lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	rel := l.relDir(importPath)
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.includeTests {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if hasBuildConstraint(src) {
+			// Constrained files (e.g. generator helpers behind a tag) are
+			// outside the default build; skip rather than guess at tags.
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		l.sources[full] = src
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("itdos-lint: no buildable Go files in %s", dir)
+	}
+	// Drop external test package files (package foo_test): they are a
+	// separate package and cannot be type-checked together with foo.
+	pkgName := files[0].Name.Name
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			pkgName = f.Name.Name
+			break
+		}
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == pkgName {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	pi := &pkgInfo{
+		ImportPath: importPath,
+		RelDir:     rel,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrs:   typeErrs,
+	}
+	l.pkgs[importPath] = pi
+	return pi, nil
+}
+
+// hasBuildConstraint reports whether src carries a //go:build line before its
+// package clause.
+func hasBuildConstraint(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "//go:build ") || t == "//go:build" {
+			return true
+		}
+		if strings.HasPrefix(t, "package ") {
+			return false
+		}
+	}
+	return false
+}

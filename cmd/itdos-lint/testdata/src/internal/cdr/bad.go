@@ -1,0 +1,17 @@
+// Package cdr holds fixtures for the err-drop check.
+package cdr
+
+import "fmt"
+
+type dec struct{ pos int }
+
+func (d *dec) readULong() (uint32, error) { return 0, fmt.Errorf("truncated") }
+func (d *dec) skip(n int) error           { d.pos += n; return nil }
+
+func dropAll(d *dec) uint32 {
+	d.skip(4)             // want:err-drop
+	v, _ := d.readULong() // want:err-drop
+	_ = d.skip(2)         // want:err-drop
+	go d.skip(1)          // want:err-drop
+	return v
+}

@@ -1,0 +1,22 @@
+package cdr
+
+// Negative fixtures: propagated and explicitly handled errors.
+
+func readPair(d *dec) (uint32, uint32, error) {
+	a, err := d.readULong()
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := d.readULong()
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+// ok-style second results that are not errors are none of err-drop's
+// business.
+func lookup(m map[string]int, k string) int {
+	v, _ := m[k]
+	return v
+}

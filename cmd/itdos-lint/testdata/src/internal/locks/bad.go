@@ -1,0 +1,35 @@
+// Package locks holds fixtures for the lock-hold check (which scopes to the
+// whole module, so any fixture path exercises it).
+package locks
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (c *counter) leakOnReturn() int {
+	c.mu.Lock() // want:lock-hold
+	if c.n > 0 {
+		return c.n // leaks the lock on this path
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func (c *counter) neverUnlocks() {
+	c.mu.Lock() // want:lock-hold
+	c.n++
+}
+
+func (c *counter) readLeak() int {
+	c.rw.RLock() // want:lock-hold
+	return c.n
+}
+
+func (c *counter) wrongMode() {
+	c.rw.RLock() // want:lock-hold
+	c.rw.Unlock()
+}

@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Negative fixtures: none of these may produce a finding.
+
+// seeded randomness through an explicit source is the sanctioned pattern.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// virtual time arithmetic is fine; only wall-clock reads are banned.
+func virtual(now time.Duration) time.Duration { return now + time.Millisecond }
+
+// append-then-sort map iteration is order-independent.
+func sortedIter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// constant-result existence checks are order-independent even with an early
+// return.
+func anyNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pure aggregation never exits early, so order cannot leak.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// deleting while ranging is explicitly order-insensitive.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// a justified suppression must silence the finding and be counted.
+func wallclockSuppressed() time.Time {
+	return time.Now() //itdos:nolint no-wallclock -- fixture: suppression must silence this finding
+}

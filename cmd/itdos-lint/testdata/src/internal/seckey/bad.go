@@ -1,0 +1,16 @@
+// Package seckey holds fixtures for the ct-mac check.
+package seckey
+
+import "bytes"
+
+func verifyMAC(gotMAC, wantMAC []byte) bool {
+	return bytes.Equal(gotMAC, wantMAC) // want:ct-mac
+}
+
+func verifyTag(computedTag, msgTag []byte) bool {
+	return bytes.Compare(computedTag, msgTag) == 0 // want:ct-mac
+}
+
+func digestMatch(aDigest, bDigest [32]byte) bool {
+	return aDigest == bDigest // want:ct-mac
+}

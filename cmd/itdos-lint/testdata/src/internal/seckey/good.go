@@ -1,0 +1,28 @@
+package seckey
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/subtle"
+)
+
+// Negative fixtures: the sanctioned constant-time comparators, plus a
+// bytes.Equal on material whose naming carries no authenticator meaning
+// (the heuristic must not fire on plain payload equality).
+
+func verifyMACConstantTime(gotMAC, wantMAC []byte) bool {
+	return hmac.Equal(gotMAC, wantMAC)
+}
+
+func verifyTagConstantTime(computedTag, msgTag []byte) bool {
+	return subtle.ConstantTimeCompare(computedTag, msgTag) == 1
+}
+
+func samePayload(a, b []byte) bool {
+	return bytes.Equal(a, b)
+}
+
+// a justified suppression for a public, non-secret digest comparison.
+func publicDigestEqual(aDigest, bDigest [32]byte) bool {
+	return aDigest == bDigest //itdos:nolint ct-mac -- fixture: public content digest, not an authenticator
+}

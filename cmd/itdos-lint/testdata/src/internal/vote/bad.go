@@ -1,0 +1,22 @@
+// Package vote holds fixtures for the value-vote check.
+package vote
+
+import (
+	"bytes"
+	"reflect"
+)
+
+type submission struct {
+	raw []byte
+	val any
+}
+
+func byteVote(a, b submission) bool {
+	if bytes.Equal(a.raw, b.raw) { // want:value-vote
+		return true
+	}
+	if bytes.Compare(a.raw, b.raw) == 0 { // want:value-vote
+		return true
+	}
+	return reflect.DeepEqual(a.val, b.val) // want:value-vote
+}

@@ -1,0 +1,30 @@
+package vote
+
+// Negative fixtures: structural comparison of unmarshalled values is the
+// sanctioned pattern (cdr.EqualValues in the real tree), and the deliberate
+// byte-by-byte comparator for experiment C2 uses a manual loop, not
+// bytes.Equal.
+
+func valueEqual(a, b []any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func manualByteLoop(x, y []byte) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}

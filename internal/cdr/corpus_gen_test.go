@@ -1,0 +1,60 @@
+//go:build corpusgen
+
+package cdr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenCDRCorpus writes the committed seed corpus for FuzzCDRDecode from
+// golden values marshalled by our own encoder: one seed per TypeCode shape,
+// each prefixed with its selector byte. Regenerate with:
+//
+//	go test -tags corpusgen -run TestGenCDRCorpus ./internal/cdr
+func TestGenCDRCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCDRDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	golden := []Value{
+		true,                                   // Boolean
+		byte(0xA5),                             // Octet
+		int16(-2),                              // Short
+		uint16(65535),                          // UShort
+		int32(-70000),                          // Long
+		uint32(0xDEADBEEF),                     // ULong
+		int64(-1 << 40),                        // LongLong
+		uint64(1 << 60),                        // ULongLong
+		float32(3.5),                           // Float
+		float64(2.718281828459045),             // Double
+		"interface Counter",                    // String
+		[]Value{byte(1), byte(2), byte(3)},     // sequence<octet>
+		[]Value{"inc", "get"},                  // sequence<string>
+		[]Value{[]Value{uint32(1)}, []Value{}}, // sequence<sequence<ulong>>
+		[]Value{1.0, 2.0, 3.0},                 // double[3]
+		uint32(2),                              // enum Color::blue
+		[]Value{int32(-3), int32(9)},           // struct Point
+		[]Value{uint64(7), "sensor", []Value{[]Value{int64(100), 1.25}}, false}, // struct Sample
+	}
+	if len(golden) != len(fuzzTypeCodes) {
+		t.Fatalf("golden values (%d) out of sync with fuzzTypeCodes (%d)",
+			len(golden), len(fuzzTypeCodes))
+	}
+	for i, tc := range fuzzTypeCodes {
+		for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+			buf, err := Marshal(tc, golden[i], order)
+			if err != nil {
+				t.Fatalf("%s: %v", tc, err)
+			}
+			seed := append([]byte{byte(i)}, buf...)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d-%s", i, order))
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

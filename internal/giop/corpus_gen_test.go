@@ -1,0 +1,58 @@
+//go:build corpusgen
+
+package giop
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"itdos/internal/cdr"
+)
+
+// TestGenGIOPCorpus writes the committed seed corpus for FuzzGIOPParse: one
+// well-formed message of each type in each byte order, encoded by our own
+// marshaller. Regenerate with:
+//
+//	go test -tags corpusgen -run TestGenGIOPCorpus ./internal/giop
+func TestGenGIOPCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzGIOPParse")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{
+		RequestID:        42,
+		ObjectKey:        "counter-1",
+		Interface:        "IDL:itdos/Counter:1.0",
+		Operation:        "increment",
+		ResponseExpected: true,
+		Body:             []byte{0, 0, 0, 7},
+	}
+	rep := &Reply{
+		RequestID: 42,
+		Status:    StatusNoException,
+		Body:      []byte{0, 0, 0, 8},
+	}
+	exc := &Reply{
+		RequestID: 43,
+		Status:    StatusSystemException,
+		Exception: "IDL:omg.org/CORBA/NO_PERMISSION:1.0",
+	}
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		seeds := [][]byte{
+			EncodeRequest(order, req),
+			EncodeReply(order, rep),
+			EncodeReply(order, exc),
+			EncodeCancelRequest(order, 42),
+			EncodeCloseConnection(order),
+		}
+		for i, seed := range seeds {
+			name := filepath.Join(dir, fmt.Sprintf("seed-%d-%s", i, order))
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

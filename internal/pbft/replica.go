@@ -266,6 +266,17 @@ func (r *Replica) entryAt(seq uint64) *entry {
 	return en
 }
 
+// logSeqs returns the log's sequence numbers in ascending order, for scans
+// whose behaviour must not depend on map iteration order.
+func (r *Replica) logSeqs() []uint64 {
+	seqs := make([]uint64, 0, len(r.log))
+	for s := range r.log {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
 // --- request handling ---
 
 func (r *Replica) onRequest(req *Request) {
@@ -308,8 +319,10 @@ func (r *Replica) assignOrder(req *Request) {
 	d := req.Digest()
 	// Don't order the same request twice (client retransmissions). Instead,
 	// retransmit the existing pre-prepare: a backup may have missed it
-	// (e.g. it raced ahead of the NEW-VIEW installing this view).
-	for _, en := range r.log {
+	// (e.g. it raced ahead of the NEW-VIEW installing this view). Scan in
+	// sequence order so the replay schedule stays deterministic.
+	for _, seq := range r.logSeqs() {
+		en := r.log[seq]
 		if en.prePrepare != nil && en.prePrepare.Digest == d && !en.executed {
 			if en.prePrepare.View == r.view {
 				r.env.Broadcast(Encode(en.prePrepare))
@@ -474,15 +487,21 @@ func (r *Replica) recordCommit(c *Commit) {
 		fe := &FetchEntry{View: c.View, Seq: c.Seq, Replica: r.cfg.ID}
 		SignMessage(r.cfg.Auth, fe)
 		data := Encode(fe)
-		sent := 0
+		// Ask the f+1 lowest-numbered committers: picking them by map
+		// iteration order would make the message schedule differ run to run
+		// under the same seed.
+		ids := make([]ReplicaID, 0, len(en.commits))
 		for id := range en.commits {
-			if id == r.cfg.ID {
-				continue
+			if id != r.cfg.ID {
+				ids = append(ids, id)
 			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if len(ids) > r.cfg.F+1 {
+			ids = ids[:r.cfg.F+1]
+		}
+		for _, id := range ids {
 			r.env.SendReplica(id, data)
-			if sent++; sent > r.cfg.F {
-				break
-			}
 		}
 	}
 	r.tryExecute()
@@ -647,12 +666,22 @@ func (r *Replica) recordCheckpoint(c *Checkpoint) {
 		return
 	}
 	byRep[c.Replica] = c
-	// Count matching digests.
+	// Count matching digests. At most one digest can reach quorum
+	// (2·(2f+1) > 3f+1), but walk candidates in sorted order anyway so the
+	// control flow never depends on map iteration order.
 	counts := make(map[Digest][]*Checkpoint)
 	for _, cp := range byRep {
 		counts[cp.StateDigest] = append(counts[cp.StateDigest], cp)
 	}
-	for digest, cps := range counts {
+	digests := make([]Digest, 0, len(counts))
+	for d := range counts {
+		digests = append(digests, d)
+	}
+	sort.Slice(digests, func(i, j int) bool {
+		return bytes.Compare(digests[i][:], digests[j][:]) < 0
+	})
+	for _, digest := range digests {
+		cps := counts[digest]
 		if len(cps) < r.quorum() {
 			continue
 		}

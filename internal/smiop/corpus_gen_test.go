@@ -1,0 +1,57 @@
+//go:build corpusgen
+
+package smiop
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// chunk renders one fragment record in FuzzSMIOPReassemble's input format:
+// member(1) | fragIndex(1) | fragCount(1) | flags(1) | len(1) | payload.
+func chunk(member, idx, count, flags byte, payload []byte) []byte {
+	out := []byte{member, idx, count, flags, byte(len(payload))}
+	return append(out, payload...)
+}
+
+// TestGenSMIOPCorpus writes the committed seed corpus for
+// FuzzSMIOPReassemble: complete in-order and out-of-order reassemblies,
+// interleaved senders, a context switch that replaces a half-full buffer,
+// and fragment coordinates a Byzantine sender would forge. Regenerate with:
+//
+//	go test -tags corpusgen -run TestGenSMIOPCorpus ./internal/smiop
+func TestGenSMIOPCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzSMIOPReassemble")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var inOrder []byte
+	for i, part := range [][]byte{[]byte("frag-one|"), []byte("frag-two|"), []byte("frag-three")} {
+		inOrder = append(inOrder, chunk(0, byte(i), 3, 2, part)...)
+	}
+	outOfOrder := append(chunk(1, 1, 2, 4, []byte("tail")), chunk(1, 0, 2, 4, []byte("head"))...)
+	interleaved := append(chunk(0, 0, 2, 0, []byte("a0")),
+		append(chunk(1, 0, 2, 0, []byte("b0")),
+			append(chunk(0, 1, 2, 0, []byte("a1")),
+				chunk(1, 1, 2, 0, []byte("b1"))...)...)...)
+	// Half a message, then the same member switches request context.
+	replaced := append(chunk(2, 0, 3, 0, []byte("old")), chunk(2, 0, 2, 6, []byte("new"))...)
+	seeds := [][]byte{
+		chunk(0, 0, 0, 0, []byte("unfragmented giop payload")),
+		inOrder,
+		outOfOrder,
+		interleaved,
+		replaced,
+		chunk(3, 9, 4, 0, []byte("index past count")),
+		chunk(3, 1, 2, 0, nil), // empty fragment payload
+	}
+	for i, seed := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%d", i))
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
