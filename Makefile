@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint test race fuzz fuzz-smoke corpus clean
+.PHONY: check build vet lint test race bench-json fuzz fuzz-smoke corpus clean
 
 check: build vet lint race
 
@@ -25,6 +25,14 @@ test:
 # non-race `make test` still covers them.
 race:
 	$(GO) test -race -short ./...
+
+# Machine-readable experiment tables: one BENCH_<id>.json per experiment
+# (schema itdos-bench/1), plus a sample trace dump. CI uploads bench-out/
+# as a workflow artifact.
+bench-json:
+	mkdir -p bench-out
+	$(GO) run ./cmd/itdos-bench -json -out bench-out
+	$(GO) run ./cmd/itdos-demo -calls 2 -trace > bench-out/TRACE_sample.txt
 
 # Continuous fuzzing of each decoder boundary, FUZZTIME per target.
 fuzz:

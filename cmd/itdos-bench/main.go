@@ -8,14 +8,18 @@
 //
 //	itdos-bench              # run every experiment
 //	itdos-bench -exp C1      # run one experiment
+//	itdos-bench -exp F1,F2   # run several
 //	itdos-bench -list        # list experiments
 //	itdos-bench -markdown    # emit EXPERIMENTS-ready markdown
+//	itdos-bench -json        # write BENCH_<id>.json per experiment
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"itdos/internal/bench"
 )
@@ -29,9 +33,11 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("itdos-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "", "run a single experiment id (e.g. F1, C3, A2)")
+	exp := fs.String("exp", "", "run a comma-separated list of experiment ids (e.g. F1,C3,A2)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	markdown := fs.Bool("markdown", false, "emit markdown instead of aligned text")
+	jsonOut := fs.Bool("json", false, "write BENCH_<id>.json per experiment instead of printing")
+	outDir := fs.String("out", ".", "directory for -json output files")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,20 +50,38 @@ func run(args []string) error {
 		return nil
 	}
 	if *exp != "" {
-		e, ok := bench.ByID(*exp)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		experiments = experiments[:0]
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			experiments = append(experiments, e)
 		}
-		experiments = []bench.Experiment{e}
 	}
 	for _, e := range experiments {
 		table, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.ID, err)
 		}
-		if *markdown {
+		switch {
+		case *jsonOut:
+			path := filepath.Join(*outDir, "BENCH_"+table.ID+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			werr := table.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("experiment %s: %w", e.ID, werr)
+			}
+			fmt.Println("wrote", path)
+		case *markdown:
 			fmt.Println(table.Markdown())
-		} else {
+		default:
 			fmt.Println(table.Render())
 		}
 	}

@@ -42,6 +42,8 @@ func run(args []string) error {
 	after := fs.Int("after", 2, "compromise after this many calls of client 0")
 	seed := fs.Int64("seed", 1, "simulation seed (same seed => identical run)")
 	epsilon := fs.Float64("epsilon", 0, "inexact voting tolerance (0 = exact)")
+	trace := fs.Bool("trace", false, "print the span tree of client 0's first invocation")
+	metrics := fs.Bool("metrics", false, "print the metrics registry after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,10 +69,15 @@ func run(args []string) error {
 	for i := range clientSpecs {
 		clientSpecs[i] = itdos.ClientSpec{Name: fmt.Sprintf("client-%d", i)}
 	}
+	var mreg *itdos.Metrics
+	if *metrics || *trace {
+		mreg = itdos.NewMetrics()
+	}
 	sys, err := itdos.NewSystem(itdos.Config{
 		Seed:     *seed,
 		Latency:  itdos.UniformLatency(time.Millisecond, 3*time.Millisecond),
 		Registry: reg,
+		Metrics:  mreg,
 		GM:       itdos.GroupSpec{N: *gmN, F: *gmF},
 		Epsilon:  *epsilon,
 		Domains: []itdos.DomainSpec{{
@@ -91,6 +98,11 @@ func run(args []string) error {
 		return err
 	}
 	defer sys.Close()
+
+	var tracer *itdos.Tracer
+	if *trace {
+		tracer = sys.EnableTracing()
+	}
 
 	ref := itdos.ObjectRef{Domain: "counter", ObjectKey: "ctr", Interface: counterIface}
 	fmt.Printf("deployment: counter domain n=%d f=%d, GM n=%d f=%d, %d client(s), seed %d\n",
@@ -121,6 +133,24 @@ func run(args []string) error {
 	// Let fault handling settle, then report.
 	sys.Net.Run(3_000_000)
 	fmt.Println("--------------------------------------------------------------------")
+	if tracer != nil {
+		// Client 0's first invocation: a cold call, so the tree shows the
+		// Fig. 3 connection-establishment steps inside the Fig. 2 stack.
+		if root := tracer.FindRoot("invoke"); root != nil {
+			fmt.Println("trace of client-0's first invocation:")
+			if err := root.Dump(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println("--------------------------------------------------------------------")
+		}
+	}
+	if *metrics && mreg != nil {
+		fmt.Println("metrics:")
+		if err := mreg.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("--------------------------------------------------------------------")
+	}
 	st := sys.Net.Stats()
 	fmt.Printf("traffic: %d msgs, %d bytes; simulated time %v\n",
 		st.MessagesSent, st.BytesSent, sys.Net.Now())

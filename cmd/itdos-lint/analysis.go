@@ -43,6 +43,7 @@ var allChecks = []*Check{
 	checkCTMAC,
 	checkErrDrop,
 	checkLockHold,
+	checkSpanLeak,
 }
 
 func lookupChecks(names string) ([]*Check, error) {

@@ -1,0 +1,27 @@
+// Package obs mirrors the real observability API (just enough of it) so
+// the span-leak fixtures type-check inside the self-contained fixture
+// module. The check matches the package by import-path suffix
+// "internal/obs" and the receiver type names Tracer/Span, so this mirror
+// exercises exactly the resolution the real tree does.
+package obs
+
+// Tracer starts spans.
+type Tracer struct{}
+
+// Span is one traced operation.
+type Span struct{ ended bool }
+
+// Start begins a span as a child of the current one.
+func (t *Tracer) Start(name string, attrs ...string) *Span { return &Span{} }
+
+// StartDetached begins a span without making it current.
+func (t *Tracer) StartDetached(name string, attrs ...string) *Span { return &Span{} }
+
+// End finishes the span.
+func (s *Span) End() { s.ended = true }
+
+// Annotate attaches a key=value attribute.
+func (s *Span) Annotate(key, value string) {}
+
+// Ended reports whether End was called.
+func (s *Span) Ended() bool { return s.ended }

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it whenever a
+// field is added, removed or re-interpreted so downstream consumers (CI
+// artifact diffing, plotting scripts) can reject files they don't
+// understand.
+const SchemaVersion = "itdos-bench/1"
+
+// TableJSON is the machine-readable form of a Table. All cells stay
+// strings: experiment rows mix counts, durations and labels, and the
+// rendered value (e.g. "12.85 ms") is the recorded result.
+type TableJSON struct {
+	Schema  string     `json:"schema"`
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Source  string     `json:"source"`
+	Note    string     `json:"note,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSON returns the table's machine-readable form.
+func (t *Table) JSON() TableJSON {
+	return TableJSON{
+		Schema:  SchemaVersion,
+		ID:      t.ID,
+		Title:   t.Title,
+		Source:  t.Source,
+		Note:    t.Note,
+		Headers: t.Headers,
+		Rows:    t.Rows,
+	}
+}
+
+// WriteJSON writes the table as indented JSON, trailing newline included.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.JSON())
+}

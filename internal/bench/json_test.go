@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestWriteJSONGolden pins the exact BENCH_*.json byte layout: field
+// names, field order, indentation. Schema changes must update the golden
+// file AND bump SchemaVersion.
+func TestWriteJSONGolden(t *testing.T) {
+	table := &Table{
+		ID:      "T0",
+		Title:   "golden fixture",
+		Source:  "paper §0",
+		Note:    "synthetic",
+		Headers: []string{"k", "v"},
+		Rows:    [][]string{{"calls", "10"}, {"msgs", "215"}},
+	}
+	var buf bytes.Buffer
+	if err := table.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want, err := os.ReadFile("testdata/golden_table.json")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON drifted from testdata/golden_table.json\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestExperimentJSONSchema runs one real (cheap) experiment and checks the
+// structural invariants every BENCH_*.json consumer relies on.
+func TestExperimentJSONSchema(t *testing.T) {
+	e, ok := ByID("A3")
+	if !ok {
+		t.Fatal("experiment A3 missing")
+	}
+	table, err := e.Run()
+	if err != nil {
+		t.Fatalf("run A3: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := table.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got TableJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Errorf("schema = %q, want %q", got.Schema, SchemaVersion)
+	}
+	if got.ID != "A3" || got.Title == "" || got.Source == "" {
+		t.Errorf("missing identity fields: %+v", got)
+	}
+	if len(got.Headers) == 0 {
+		t.Fatal("no headers")
+	}
+	for i, row := range got.Rows {
+		if len(row) != len(got.Headers) {
+			t.Errorf("row %d has %d cells, want %d", i, len(row), len(got.Headers))
+		}
+	}
+	if len(got.Rows) == 0 {
+		t.Error("no rows")
+	}
+}

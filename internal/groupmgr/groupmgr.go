@@ -23,6 +23,7 @@ import (
 	"itdos/internal/dprf"
 	"itdos/internal/giop"
 	"itdos/internal/idl"
+	"itdos/internal/obs"
 	"itdos/internal/smiop"
 )
 
@@ -66,6 +67,8 @@ type Config struct {
 	// MemberOf resolves an authenticated identity to its domain and member
 	// index (clients resolve to their own name with member 0).
 	MemberOf func(identity string) (domain string, member int, ok bool)
+	// Metrics, if non-nil, receives Group Manager control-plane counters.
+	Metrics *obs.Registry
 }
 
 func (c *Config) validate() error {
@@ -113,6 +116,14 @@ type Manager struct {
 	// RejectedProofs counts change_requests whose proof failed validation
 	// (e.g. a malicious client trying to expel a correct element).
 	RejectedProofs int
+
+	// Control-plane counters (nil-safe; nil when unobserved).
+	mOpenRequests   *obs.Counter
+	mChangeRequests *obs.Counter
+	mSharesIssued   *obs.Counter
+	mRekeys         *obs.Counter
+	mExpulsions     *obs.Counter
+	mRejectedProofs *obs.Counter
 }
 
 // New builds a Group Manager element.
@@ -120,14 +131,23 @@ func New(cfg Config) (*Manager, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:       cfg,
 		common:    dprf.NewCommonInput(cfg.CommonSeed),
 		conns:     make(map[string]*connRecord),
 		connsByID: make(map[uint64]*connRecord),
 		expelled:  make(map[string]map[int]bool),
 		votes:     make(map[string]map[string]map[int]bool),
-	}, nil
+	}
+	if r := cfg.Metrics; r != nil {
+		m.mOpenRequests = r.Counter("gm_open_requests_total")
+		m.mChangeRequests = r.Counter("gm_change_requests_total")
+		m.mSharesIssued = r.Counter("gm_shares_issued_total")
+		m.mRekeys = r.Counter("gm_rekeys_total")
+		m.mExpulsions = r.Counter("gm_expulsions_total")
+		m.mRejectedProofs = r.Counter("gm_rejected_proofs_total")
+	}
+	return m, nil
 }
 
 // IsExpelled reports whether a domain member has been expelled.
@@ -158,6 +178,7 @@ func (m *Manager) onOpenRequest(sender string, env *smiop.Envelope) {
 	if err != nil {
 		return
 	}
+	m.mOpenRequests.Inc()
 	senderDomain, _, ok := m.cfg.MemberOf(sender)
 	if !ok || senderDomain != req.Initiator {
 		return // a process may only open connections for itself
@@ -216,6 +237,7 @@ func (m *Manager) sendBundle(rec *connRecord, init, target, dst smiop.PeerInfo, 
 			continue
 		}
 		bundle.Shares[i] = sealed
+		m.mSharesIssued.Inc()
 	}
 	env := &smiop.Envelope{
 		Kind:      smiop.KindKeyShare,
@@ -265,6 +287,7 @@ func (m *Manager) onChangeRequest(sender string, env *smiop.Envelope) {
 	if err != nil {
 		return
 	}
+	m.mChangeRequests.Inc()
 	accuserDomain, accuserMember, ok := m.cfg.MemberOf(sender)
 	if !ok {
 		return
@@ -294,6 +317,7 @@ func (m *Manager) onChangeRequest(sender string, env *smiop.Envelope) {
 		// (paper §3.6).
 		if !m.validateProof(cr, targetInfo) {
 			m.RejectedProofs++
+			m.mRejectedProofs.Inc()
 			return
 		}
 		m.expel(cr.TargetDomain, int(cr.Accused), true)
@@ -483,6 +507,7 @@ func (m *Manager) expel(domain string, member int, byProof bool) {
 	}
 	m.expelled[domain][member] = true
 	m.Expulsions = append(m.Expulsions, Expulsion{Domain: domain, Member: member, ByProof: byProof})
+	m.mExpulsions.Inc()
 
 	// Rekey every connection the domain participates in, in deterministic
 	// (id) order.
@@ -496,6 +521,7 @@ func (m *Manager) expel(domain string, member int, byProof bool) {
 	for _, id := range ids {
 		rec := m.connsByID[id]
 		rec.Era++
+		m.mRekeys.Inc()
 		rec.X = m.common.Next(fmt.Sprintf("conn|%s|%s|era%d", rec.Initiator, rec.Target, rec.Era))
 		m.distribute(rec, m.cfg.Domains[rec.Initiator], m.cfg.Domains[rec.Target])
 	}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Registry holds named instruments. Instruments are identified by a name
+// plus optional pre-formatted "key=value" labels; asking twice for the
+// same identity returns the same handle, so call sites may either cache
+// handles (hot paths) or look them up ad hoc (slow paths).
+//
+// The registry is not internally locked: like the rest of the simulator
+// it relies on the single-threaded driver / coroutine discipline for
+// mutual exclusion (handoffs are channel-synchronised, so -race stays
+// clean).
+//
+// All methods are nil-safe: a nil *Registry returns nil handles and nil
+// handles no-op.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// instrumentKey renders "name{l1,l2}" (or bare "name" without labels).
+func instrumentKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(labels, ",") + "}"
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	key string
+	v   uint64
+}
+
+// Counter returns (registering on first use) the counter for name and
+// labels. Labels are pre-formatted "key=value" strings.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := instrumentKey(name, labels)
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{key: key}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	key string
+	v   float64
+}
+
+// Gauge returns (registering on first use) the gauge for name and labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := instrumentKey(name, labels)
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{key: key}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add shifts the gauge value by d.
+func (g *Gauge) Add(d float64) {
+	if g != nil {
+		g.v += d
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution: counts[i] counts observations
+// v <= bounds[i]; the final slot counts the overflow (+Inf bucket).
+type Histogram struct {
+	key    string
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// Histogram returns (registering on first use) the histogram for name and
+// labels, with the given strictly increasing upper bounds. The bounds of
+// the first registration win; later calls with the same identity reuse
+// them.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := instrumentKey(name, labels)
+	h, ok := r.hists[key]
+	if !ok {
+		h = &Histogram{
+			key:    key,
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+	h.n++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// BucketCounts returns a copy of the per-bucket counts (one more entry
+// than bounds; the last is the overflow bucket).
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return append([]uint64(nil), h.counts...)
+}
+
+// --- exposition ---
+
+func (r *Registry) sortedKeys() (counters, gauges, hists []string) {
+	for k := range r.counters {
+		counters = append(counters, k)
+	}
+	for k := range r.gauges {
+		gauges = append(gauges, k)
+	}
+	for k := range r.hists {
+		hists = append(hists, k)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}
+
+// WriteText renders every instrument, sorted by name, one per line.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	counters, gauges, hists := r.sortedKeys()
+	for _, k := range counters {
+		if _, err := fmt.Fprintf(w, "counter   %s %d\n", k, r.counters[k].v); err != nil {
+			return err
+		}
+	}
+	for _, k := range gauges {
+		if _, err := fmt.Fprintf(w, "gauge     %s %g\n", k, r.gauges[k].v); err != nil {
+			return err
+		}
+	}
+	for _, k := range hists {
+		h := r.hists[k]
+		var b strings.Builder
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%g", k, h.n, h.sum)
+		for i, bound := range h.bounds {
+			fmt.Fprintf(&b, " le%g=%d", bound, h.counts[i])
+		}
+		fmt.Fprintf(&b, " inf=%d", h.counts[len(h.bounds)])
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histogramJSON is the JSON shape of one histogram.
+type histogramJSON struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// registryJSON is the JSON shape of a registry dump. Maps serialise with
+// sorted keys, so the output is deterministic.
+type registryJSON struct {
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]histogramJSON `json:"histograms"`
+}
+
+// WriteJSON renders the registry as a single deterministic JSON object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	out := registryJSON{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]histogramJSON, len(r.hists)),
+	}
+	for k, c := range r.counters {
+		out.Counters[k] = c.v
+	}
+	for k, g := range r.gauges {
+		out.Gauges[k] = g.v
+	}
+	for k, h := range r.hists {
+		out.Histograms[k] = histogramJSON{
+			Bounds: h.bounds, Counts: h.counts, Sum: h.sum, Count: h.n,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,31 @@
+// Package obs is the observability layer of the reproduction: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms) plus a per-invocation tracer whose spans follow a request
+// down the Figure-2 stack (ORB marshal → SMIOP seal → SRM/PBFT ordering →
+// unmarshal → vote → reply) and, on a cold call, through the Figure-3
+// connection-establishment steps.
+//
+// Everything is keyed to *virtual* time: the tracer reads a Clock —
+// satisfied directly by *netsim.Network — and never touches the wall
+// clock, so instrumented runs stay bit-for-bit deterministic and pass
+// itdos-lint's no-wallclock check by construction.
+//
+// Every method is nil-safe: a nil *Registry hands out nil instrument
+// handles, and nil handles no-op, so uninstrumented deployments pay one
+// pointer comparison per hot-path event (proven by the benchmarks in
+// internal/replica and this package).
+//
+// The design follows the self-observation argument of modern intrusion
+// tolerance (Hammar & Stadler 2024: a tolerant system must observe itself
+// to drive recovery) and the per-protocol-phase accounting BFT libraries
+// such as SecureSMART treat as an architectural layer.
+package obs
+
+import "time"
+
+// Clock supplies the current virtual time. *netsim.Network implements it;
+// tests may use any deterministic source. Implementations must be
+// monotone within one run.
+type Clock interface {
+	Now() time.Duration
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Tracer records parent/child spans against a virtual clock. It keeps a
+// *current* span — valid because the simulator is single-threaded and the
+// two coroutines of an element never run concurrently — so straight-line
+// code can just Start/End and nest correctly, while asynchronous
+// continuations (a parked ORB thread, a PBFT ack arriving later) stitch
+// themselves back under the right parent with WithCurrent/SetCurrent.
+//
+// All methods are nil-safe; a nil *Tracer costs one branch per call site.
+type Tracer struct {
+	clock Clock
+	roots []*Span
+	cur   *Span
+}
+
+// NewTracer builds a tracer over clock (nil clock yields a nil tracer,
+// i.e. tracing disabled).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		return nil
+	}
+	return &Tracer{clock: clock}
+}
+
+// Span is one traced operation: a name, "key=value" attributes, virtual
+// start/end times and child spans.
+type Span struct {
+	Name  string
+	Attrs []string
+	// Begin/Finish are virtual times; Finish is meaningful only once the
+	// span has ended (Ended reports which).
+	Begin    time.Duration
+	Finish   time.Duration
+	Children []*Span
+
+	tracer *Tracer
+	parent *Span
+	ended  bool
+}
+
+// newSpan creates a span under parent (nil parent makes a root).
+func (t *Tracer) newSpan(parent *Span, name string, attrs []string) *Span {
+	s := &Span{Name: name, Attrs: attrs, Begin: t.clock.Now(), tracer: t, parent: parent}
+	if parent == nil {
+		t.roots = append(t.roots, s)
+	} else {
+		parent.Children = append(parent.Children, s)
+	}
+	return s
+}
+
+// Start opens a span as a child of the current span (a root if none) and
+// makes it current. Pair with End.
+func (t *Tracer) Start(name string, attrs ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := t.newSpan(t.cur, name, attrs)
+	t.cur = s
+	return s
+}
+
+// StartDetached opens a span as a child of the current span WITHOUT
+// making it current — for operations that outlive the code path starting
+// them (e.g. an SRM ordering round ended by its ack handler).
+func (t *Tracer) StartDetached(name string, attrs ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(t.cur, name, attrs)
+}
+
+// End closes the span at the current virtual time. Ending the current
+// span pops currency to its parent; ending any other span (asynchronous
+// completions) leaves currency untouched. Idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.Finish = s.tracer.clock.Now()
+	if s.tracer.cur == s {
+		s.tracer.cur = s.parent
+	}
+}
+
+// Ended reports whether the span has finished.
+func (s *Span) Ended() bool { return s != nil && s.ended }
+
+// Annotate appends a "key=value" attribute after the fact.
+func (s *Span) Annotate(key, value string) {
+	if s != nil {
+		s.Attrs = append(s.Attrs, key+"="+value)
+	}
+}
+
+// Current returns the current span (nil on a nil tracer or at top level).
+func (t *Tracer) Current() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.cur
+}
+
+// SetCurrent makes s current (nil clears). Use WithCurrent where a
+// scoped restore fits.
+func (t *Tracer) SetCurrent(s *Span) {
+	if t != nil {
+		t.cur = s
+	}
+}
+
+// WithCurrent makes s current and returns a restore function for the
+// previous currency — the stitch for driver-side handlers continuing a
+// parked invocation:
+//
+//	defer tr.WithCurrent(waiting.span)()
+func (t *Tracer) WithCurrent(s *Span) func() {
+	if t == nil {
+		return func() {}
+	}
+	prev := t.cur
+	t.cur = s
+	return func() { t.cur = prev }
+}
+
+// Roots returns the recorded root spans in start order.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.roots
+}
+
+// FindRoot returns the first root span with the given name (nil if none).
+func (t *Tracer) FindRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	for _, s := range t.roots {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Walk visits s and its descendants depth-first in recorded order.
+func (s *Span) Walk(visit func(s *Span, depth int)) {
+	if s == nil {
+		return
+	}
+	var rec func(sp *Span, depth int)
+	rec = func(sp *Span, depth int) {
+		visit(sp, depth)
+		for _, c := range sp.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(s, 0)
+}
+
+// Dump renders the span subtree, one line per span:
+//
+//	[ 12.345ms +2.010ms] smiop.deliver conn=1 member=0
+func (s *Span) Dump(w io.Writer) error {
+	var err error
+	s.Walk(func(sp *Span, depth int) {
+		if err != nil {
+			return
+		}
+		dur := "open"
+		if sp.ended {
+			dur = fmt.Sprintf("+%.3fms", float64(sp.Finish-sp.Begin)/float64(time.Millisecond))
+		}
+		line := fmt.Sprintf("[%9.3fms %8s] %s", float64(sp.Begin)/float64(time.Millisecond), dur, sp.Name)
+		for _, a := range sp.Attrs {
+			line += " " + a
+		}
+		for i := 0; i < depth; i++ {
+			line = "  " + line
+		}
+		_, err = fmt.Fprintln(w, line)
+	})
+	return err
+}
+
+// Dump renders every root span tree.
+func (t *Tracer) Dump(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for _, s := range t.roots {
+		if err := s.Dump(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

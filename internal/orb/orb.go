@@ -16,6 +16,7 @@ import (
 	"itdos/internal/cdr"
 	"itdos/internal/giop"
 	"itdos/internal/idl"
+	"itdos/internal/obs"
 )
 
 // ObjectRef names a CORBA object: the replication domain hosting it, the
@@ -230,6 +231,12 @@ type Client struct {
 	registry *idl.Registry
 	protocol Protocol
 	order    cdr.ByteOrder
+
+	// Tracer, if set, wraps each Call in an "invoke" span with
+	// orb.marshal / orb.unmarshal children (Fig. 2 top layer). Metrics, if
+	// set, counts calls and call errors. Both are nil-safe.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // NewClient builds a client ORB marshalling in the platform's byte order.
@@ -240,7 +247,16 @@ func NewClient(registry *idl.Registry, protocol Protocol, order cdr.ByteOrder) *
 // Call invokes op on the referenced object and returns the unmarshalled
 // results. GIOP exceptions surface as errors: *UserException for declared
 // exceptions, generic errors for system exceptions.
-func (c *Client) Call(ref ObjectRef, op string, args []cdr.Value) ([]cdr.Value, error) {
+func (c *Client) Call(ref ObjectRef, op string, args []cdr.Value) (results []cdr.Value, err error) {
+	sp := c.Tracer.Start("invoke", "op="+ref.Interface+"."+op, "domain="+ref.Domain)
+	defer sp.End()
+	c.Metrics.Counter("orb_calls_total").Inc()
+	defer func() {
+		if err != nil {
+			c.Metrics.Counter("orb_call_errors_total").Inc()
+		}
+	}()
+
 	opDef, err := c.registry.Lookup(ref.Interface, op)
 	if err != nil {
 		return nil, err
@@ -249,7 +265,9 @@ func (c *Client) Call(ref ObjectRef, op string, args []cdr.Value) ([]cdr.Value, 
 		return nil, fmt.Errorf("orb: %s.%s takes %d arguments, got %d",
 			ref.Interface, op, len(opDef.Params), len(args))
 	}
+	msp := c.Tracer.Start("orb.marshal")
 	body, err := cdr.Marshal(opDef.ParamsType(), args, c.order)
+	msp.End()
 	if err != nil {
 		return nil, fmt.Errorf("orb: marshal %s.%s: %w", ref.Interface, op, err)
 	}
@@ -270,11 +288,13 @@ func (c *Client) Call(ref ObjectRef, op string, args []cdr.Value) ([]cdr.Value, 
 	case giop.StatusSystemException:
 		return nil, fmt.Errorf("orb: system exception: %s", reply.Exception)
 	}
-	results, err := cdr.Unmarshal(opDef.ResultsType(), reply.Body, order)
+	usp := c.Tracer.Start("orb.unmarshal")
+	decoded, err := cdr.Unmarshal(opDef.ResultsType(), reply.Body, order)
+	usp.End()
 	if err != nil {
 		return nil, fmt.Errorf("orb: unmarshal %s.%s results: %w", ref.Interface, op, err)
 	}
-	list, ok := results.([]cdr.Value)
+	list, ok := decoded.([]cdr.Value)
 	if !ok {
 		return nil, fmt.Errorf("orb: result list is not a struct")
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"itdos/internal/cdr"
+	"itdos/internal/obs"
 )
 
 // App is the replicated state machine PBFT drives. In ITDOS the App is the
@@ -60,6 +61,11 @@ type Config struct {
 	ViewTimeout time.Duration
 	// Auth signs and verifies every message.
 	Auth Authenticator
+	// Metrics, if non-nil, receives protocol-phase counters. MetricsLabel
+	// groups them (e.g. the replication domain name); counters are shared
+	// across replicas of the same group so they count group-wide events.
+	Metrics      *obs.Registry
+	MetricsLabel string
 }
 
 func (c *Config) fill() error {
@@ -151,6 +157,16 @@ type Replica struct {
 
 	// fetching dedupes concurrent state-transfer attempts.
 	fetching bool
+
+	// Protocol-phase counters (nil-safe handles; nil when unobserved).
+	mPrePrepares    *obs.Counter
+	mPrepares       *obs.Counter
+	mCommits        *obs.Counter
+	mExecutions     *obs.Counter
+	mCheckpoints    *obs.Counter
+	mViewChanges    *obs.Counter
+	mNewViews       *obs.Counter
+	mStateTransfers *obs.Counter
 }
 
 // NewReplica constructs a replica over app and env.
@@ -169,6 +185,17 @@ func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
 		outstanding: make(map[Digest]*Request),
 		viewChanges: make(map[uint64]map[ReplicaID]*ViewChange),
 		vcTimeout:   cfg.ViewTimeout,
+	}
+	if m := cfg.Metrics; m != nil {
+		label := "group=" + cfg.MetricsLabel
+		r.mPrePrepares = m.Counter("pbft_preprepares_total", label)
+		r.mPrepares = m.Counter("pbft_prepares_total", label)
+		r.mCommits = m.Counter("pbft_commits_total", label)
+		r.mExecutions = m.Counter("pbft_executions_total", label)
+		r.mCheckpoints = m.Counter("pbft_checkpoints_total", label)
+		r.mViewChanges = m.Counter("pbft_view_changes_total", label)
+		r.mNewViews = m.Counter("pbft_new_views_total", label)
+		r.mStateTransfers = m.Counter("pbft_state_transfers_total", label)
 	}
 	// Seq 0 is the genesis stable checkpoint; its snapshot is the initial
 	// state so peers can bootstrap from it.
@@ -344,6 +371,7 @@ func (r *Replica) assignOrder(req *Request) {
 		Request: req, Replica: r.cfg.ID,
 	}
 	r.broadcast(pp)
+	r.mPrePrepares.Inc()
 	r.acceptPrePrepare(pp)
 	r.armTimer()
 }
@@ -403,6 +431,7 @@ func (r *Replica) onPrePrepare(pp *PrePrepare) {
 	// Backup: agree to the ordering.
 	p := &Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.cfg.ID}
 	r.broadcast(p)
+	r.mPrepares.Inc()
 	r.recordPrepare(p)
 	r.armTimer()
 }
@@ -463,6 +492,7 @@ func (r *Replica) tryPrepared(seq uint64) {
 	en.sentCommit = true
 	c := &Commit{View: r.view, Seq: seq, Digest: en.prePrepare.Digest, Replica: r.cfg.ID}
 	r.broadcast(c)
+	r.mCommits.Inc()
 	r.recordCommit(c)
 }
 
@@ -543,6 +573,7 @@ func (r *Replica) tryExecute() {
 func (r *Replica) executeEntry(seq uint64, en *entry) {
 	en.executed = true
 	r.lastExec = seq
+	r.mExecutions.Inc()
 	pp := en.prePrepare
 	if pp.Request != nil {
 		req := pp.Request
@@ -646,6 +677,7 @@ func (r *Replica) takeCheckpoint(seq uint64) {
 	r.snapshots[seq] = state
 	c := &Checkpoint{Seq: seq, StateDigest: sha256.Sum256(state), Replica: r.cfg.ID}
 	r.broadcast(c)
+	r.mCheckpoints.Inc()
 	r.recordCheckpoint(c)
 }
 
@@ -748,6 +780,7 @@ func (r *Replica) requestState(seq uint64, proof []*Checkpoint) {
 		return
 	}
 	r.fetching = true
+	r.mStateTransfers.Inc()
 	fs := &FetchState{Seq: seq, Replica: r.cfg.ID}
 	SignMessage(r.cfg.Auth, fs)
 	data := Encode(fs)

@@ -23,6 +23,7 @@ func (r *Replica) startViewChange(newView uint64) {
 		Replica:         r.cfg.ID,
 	}
 	r.broadcast(vc)
+	r.mViewChanges.Inc()
 	r.recordViewChange(vc)
 	// If the new primary stalls, escalate to the next view.
 	r.armTimerAlways()
@@ -223,6 +224,7 @@ func (r *Replica) onNewView(nv *NewView) {
 func (r *Replica) installNewView(nv *NewView) {
 	r.view = nv.View
 	r.inViewChange = false
+	r.mNewViews.Inc()
 
 	minS, maxS := viewChangeBounds(nv.ViewChanges)
 	if minS > r.lowWater {

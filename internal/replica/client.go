@@ -45,6 +45,7 @@ func newClient(sys *System, spec ClientSpec) (*Client, error) {
 	}
 	c.init(sys, spec.Name, smiop.PeerInfo{Name: spec.Name, N: 1, F: 0}, 0, spec.Profile)
 	c.orb = orb.NewClient(sys.registry, c, spec.Profile.Order)
+	c.orb.Metrics = sys.cfg.Metrics
 	sys.Net.AddNode(netsim.NodeID(clientInboxAddr(spec.Name)),
 		netsim.HandlerFunc(func(_ netsim.NodeID, payload []byte) { c.onInbox(payload) }))
 	return c, nil

@@ -47,6 +47,7 @@ func newElement(sys *System, dr *DomainRuntime, member int, profile Profile) (*E
 		return profile.PerturbResults(op, results)
 	}
 	el.caller = orb.NewClient(sys.registry, el, profile.Order)
+	el.caller.Metrics = sys.cfg.Metrics
 	el.onPostDecision = el.onPostDecisionHook
 	el.srmEl = dr.Dom.Elements[member]
 	el.srmEl.OnDeliver = el.onDeliver
@@ -141,6 +142,7 @@ func (el *Element) drainHeld() {
 // onInboundRequest dispatches a voted request as an ORB upcall.
 func (el *Element) onInboundRequest(cs *connState, val *smiop.MessageVal) {
 	el.Upcalls++
+	el.sys.cfg.Metrics.Counter("element_upcalls_total", "domain="+el.local.Name).Inc()
 	el.schedule(func() { el.serve(cs, val) })
 }
 
@@ -151,6 +153,9 @@ func (el *Element) serve(cs *connState, val *smiop.MessageVal) {
 	if req == nil {
 		return
 	}
+	usp := el.tracer().Start("orb.upcall",
+		"op="+val.Interface+"."+val.Operation, "element="+el.identity)
+	defer usp.End()
 	args, ok := val.Body.([]cdr.Value)
 	if !ok {
 		args = nil
@@ -173,6 +178,9 @@ func (el *Element) sendReply(cs *connState, requestID uint64, giopBytes []byte) 
 		el.sys.cfg.FragmentSize)
 	if err != nil {
 		return
+	}
+	if len(envs) > 1 {
+		el.mFragsOut.Add(uint64(len(envs)))
 	}
 	for _, env := range envs {
 		if cs.peer.N == 1 {

@@ -6,6 +6,7 @@ import (
 	"itdos/internal/cdr"
 	"itdos/internal/dprf"
 	"itdos/internal/giop"
+	"itdos/internal/obs"
 	"itdos/internal/orb"
 	"itdos/internal/seckey"
 	"itdos/internal/smiop"
@@ -25,6 +26,10 @@ type waitState struct {
 	peer   string // waitConn: the target domain
 	connID uint64 // waitReply
 	reqID  uint64 // waitReply
+	// span is the tracer's current span at park time; the driver-side
+	// handler that completes the wait re-attaches under it (WithCurrent),
+	// stitching asynchronous delivery back into the invocation's trace.
+	span *obs.Span
 }
 
 // debugCR enables change-request proof tracing (tests only).
@@ -111,6 +116,11 @@ type endpoint struct {
 	// onPostDecision, if set, handles copies arriving after a vote decided
 	// (elements answer request retries from their reply cache).
 	onPostDecision func(cs *connState, env *smiop.Envelope)
+
+	// Connection-cache counters (nil-safe; nil when unobserved).
+	mConnHits   *obs.Counter
+	mConnMisses *obs.Counter
+	mFragsOut   *obs.Counter
 }
 
 func (ep *endpoint) init(sys *System, identity string, local smiop.PeerInfo, member int, profile Profile) {
@@ -126,6 +136,27 @@ func (ep *endpoint) init(sys *System, identity string, local smiop.PeerInfo, mem
 	ep.connByPeer = make(map[string]uint64)
 	ep.collectors = make(map[string]*shareCollector)
 	ep.senders = make(map[string]*sendQueue)
+	if r := sys.cfg.Metrics; r != nil {
+		ep.mConnHits = r.Counter("conn_cache_hits_total")
+		ep.mConnMisses = r.Counter("conn_cache_misses_total")
+		ep.mFragsOut = r.Counter("smiop_fragments_total", "dir=out")
+	}
+}
+
+// tracer returns the system tracer (nil when tracing is off).
+func (ep *endpoint) tracer() *obs.Tracer { return ep.sys.tracer }
+
+// parkWait parks the ORB thread on w. The tracer's current span is saved
+// into w and detached so unrelated driver-side work does not nest under a
+// parked invocation; it is re-attached when the thread resumes.
+func (ep *endpoint) parkWait(w *waitState) any {
+	tr := ep.tracer()
+	w.span = tr.Current()
+	tr.SetCurrent(nil)
+	ep.waiting = w
+	res := ep.worker.park()
+	tr.SetCurrent(w.span)
+	return res
 }
 
 // --- task scheduling (driver thread) ---
@@ -213,16 +244,20 @@ func (ep *endpoint) invokeOnce(ref orb.ObjectRef, req *giop.Request, retry bool)
 		}
 	}
 	giopBytes := giop.EncodeRequest(ep.profile.Order, req)
+	ssp := ep.tracer().Start("smiop.seal", fmt.Sprintf("req=%d", reqID))
 	envs, err := cs.conn.SealSignedDataFragmented(reqID, false, giopBytes, ep.sign,
 		ep.sys.cfg.FragmentSize)
+	ssp.End()
 	if err != nil {
 		return nil, 0, err
+	}
+	if len(envs) > 1 {
+		ep.mFragsOut.Add(uint64(len(envs)))
 	}
 	for _, env := range envs {
 		ep.sendOrdered(ref.Domain, env.Encode())
 	}
-	ep.waiting = &waitState{kind: waitReply, connID: cs.conn.ID, reqID: reqID}
-	switch res := ep.worker.park().(type) {
+	switch res := ep.parkWait(&waitState{kind: waitReply, connID: cs.conn.ID, reqID: reqID}).(type) {
 	case *smiop.MessageVal:
 		return res.Msg.Reply, res.Msg.Order, nil
 	case callFailure:
@@ -240,8 +275,12 @@ func (ep *endpoint) invokeOnce(ref orb.ObjectRef, req *giop.Request, retry bool)
 // and may park.
 func (ep *endpoint) ensureConn(peer string) (*connState, error) {
 	if id, ok := ep.connByPeer[peer]; ok {
+		ep.mConnHits.Inc()
 		return ep.conns[id], nil
 	}
+	ep.mConnMisses.Inc()
+	csp := ep.tracer().Start("conn.establish", "peer="+peer)
+	defer csp.End()
 	open := &smiop.OpenRequest{Initiator: ep.local.Name, Target: peer}
 	env := &smiop.Envelope{
 		Kind:      smiop.KindOpenRequest,
@@ -249,9 +288,10 @@ func (ep *endpoint) ensureConn(peer string) (*connState, error) {
 		SrcMember: uint32(ep.member),
 		Payload:   open.Encode(),
 	}
+	osp := ep.tracer().Start("gm.open_request")
 	ep.sendOrdered(GMDomainName, env.Encode())
-	ep.waiting = &waitState{kind: waitConn, peer: peer}
-	switch res := ep.worker.park().(type) {
+	osp.End()
+	switch res := ep.parkWait(&waitState{kind: waitConn, peer: peer}).(type) {
 	case *connState:
 		return res, nil
 	case callFailure:
@@ -262,14 +302,16 @@ func (ep *endpoint) ensureConn(peer string) (*connState, error) {
 }
 
 // sendOrdered multicasts payload into target's ordering group. Safe from
-// either coroutine (they are mutually exclusive).
+// either coroutine (they are mutually exclusive). The ordering round is
+// traced as a detached srm.order span ended by the PBFT acknowledgement.
 func (ep *endpoint) sendOrdered(target string, payload []byte) {
 	q, ok := ep.senders[target]
 	if !ok {
 		q = ep.sys.newSender(ep.identity, target)
 		ep.senders[target] = q
 	}
-	q.send(payload)
+	osp := ep.tracer().StartDetached("srm.order", "target="+target)
+	q.send(payload, osp)
 }
 
 // --- inbound path (driver thread) ---
@@ -279,6 +321,11 @@ func (ep *endpoint) handleData(env *smiop.Envelope) {
 	cs, ok := ep.conns[env.ConnID]
 	if !ok {
 		return
+	}
+	// A copy for the awaited reply continues the parked invocation: nest
+	// its delivery spans under the span saved at park time.
+	if w := ep.waiting; w != nil && w.kind == waitReply && w.connID == env.ConnID {
+		defer ep.tracer().WithCurrent(w.span)()
 	}
 	// Deliver errors are accounted in the stream counters; nothing to do.
 	_ = cs.stream.Deliver(env)
@@ -300,7 +347,9 @@ func (ep *endpoint) onVoted(cs *connState, val *smiop.MessageVal, dec *vote.Deci
 		w := ep.waiting
 		if w != nil && w.kind == waitReply && w.connID == cs.conn.ID &&
 			val.Msg.Reply != nil && val.Msg.Reply.RequestID == w.reqID {
+			rsp := ep.tracer().Start("reply", fmt.Sprintf("req=%d", w.reqID))
 			ep.resume(val)
+			rsp.End()
 		}
 		return
 	}
@@ -436,6 +485,16 @@ func (ep *endpoint) handleBundle(b *smiop.ShareBundle,
 		return // stale era or re-announcement of the current one
 	}
 
+	// Shares completing a parked connection establishment trace under the
+	// span saved at park time (the Fig. 3 steps of a cold call).
+	if w := ep.waiting; w != nil && w.kind == waitConn {
+		defer ep.tracer().WithCurrent(w.span)()
+	}
+	ssp := ep.tracer().Start("gm.share",
+		fmt.Sprintf("gm_member=%d", gmIdx), fmt.Sprintf("conn=%d", b.ConnID),
+		fmt.Sprintf("era=%d", b.Era))
+	defer ssp.End()
+
 	gmIdentity := GMElementIdentity(gmIdx)
 	plain, err := ep.sys.openShare(gmIdentity, ep.identity, b.ConnID, b.Era, sealed)
 	if err != nil {
@@ -459,7 +518,10 @@ func (ep *endpoint) handleBundle(b *smiop.ShareBundle,
 	for _, s := range col.shares {
 		shares = append(shares, s)
 	}
+	ssp.End() // quorum reached: the final share hand-off is complete
+	ksp := ep.tracer().Start("key.combine", fmt.Sprintf("shares=%d", len(shares)))
 	combined, corrupt, err := dprf.Combine(ep.sys.gmParams(), shares)
+	ksp.End()
 	if err != nil {
 		return // wait for more shares
 	}
@@ -480,6 +542,10 @@ func collectorKey(connID, era uint64) string {
 // resumes any ORB thread parked on connection establishment.
 func (ep *endpoint) installConn(b *smiop.ShareBundle, peer smiop.PeerInfo, initiator bool,
 	key seckey.Key, onRequest func(cs *connState, val *smiop.MessageVal)) {
+
+	isp := ep.tracer().Start("conn.install",
+		fmt.Sprintf("conn=%d", b.ConnID), fmt.Sprintf("era=%d", b.Era))
+	defer isp.End()
 
 	expelledPeer := b.ExpelledTarget
 	if !initiator {
@@ -520,6 +586,8 @@ func (ep *endpoint) installConn(b *smiop.ShareBundle, peer smiop.PeerInfo, initi
 		AutoAdvance: !initiator,
 		ByteVoting:  ep.sys.cfg.ByteVoting,
 		VerifySig:   ep.sys.verifyData(),
+		Metrics:     ep.sys.cfg.Metrics,
+		Tracer:      ep.sys.tracer,
 	})
 	if err != nil {
 		return
@@ -562,31 +630,45 @@ func (ep *endpoint) ConnTo(peer string) (uint64, bool) {
 
 // sendQueue serialises ordered sends: the underlying PBFT client allows
 // one outstanding request, so later payloads wait for the previous ACK.
+// Each payload may carry a detached srm.order span, ended when its ACK
+// arrives (or when the send fails outright).
 type sendQueue struct {
 	sendNow  func(data []byte) error
 	queue    [][]byte
+	spans    []*obs.Span
 	inflight bool
+	cur      *obs.Span
 }
 
-func (q *sendQueue) send(data []byte) {
+func (q *sendQueue) send(data []byte, sp *obs.Span) {
 	if q.inflight {
 		q.queue = append(q.queue, data)
+		q.spans = append(q.spans, sp)
 		return
 	}
 	q.inflight = true
+	q.cur = sp
 	if err := q.sendNow(data); err != nil {
 		q.inflight = false
+		q.cur.End()
+		q.cur = nil
 	}
 }
 
 func (q *sendQueue) acked() {
+	q.cur.End()
+	q.cur = nil
 	if len(q.queue) == 0 {
 		q.inflight = false
 		return
 	}
 	next := q.queue[0]
 	q.queue = q.queue[1:]
+	q.cur = q.spans[0]
+	q.spans = q.spans[1:]
 	if err := q.sendNow(next); err != nil {
 		q.inflight = false
+		q.cur.End()
+		q.cur = nil
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"itdos/internal/groupmgr"
 	"itdos/internal/idl"
 	"itdos/internal/netsim"
+	"itdos/internal/obs"
 	"itdos/internal/orb"
 	"itdos/internal/pbft"
 	"itdos/internal/seckey"
@@ -89,6 +90,11 @@ type SystemConfig struct {
 	// fragments (paper §4 large-object support). 0 selects the default
 	// (16 KiB).
 	FragmentSize int
+
+	// Metrics, if non-nil, receives counters and histograms from every
+	// layer of the stack (ORB, SMIOP, SRM/PBFT, voting, Group Manager).
+	// Nil disables metrics at near-zero cost (one nil check per event).
+	Metrics *obs.Registry
 }
 
 func (c *SystemConfig) fill() error {
@@ -165,6 +171,9 @@ type System struct {
 	gmRing     *pbft.Keyring
 	gmInfo     smiop.PeerInfo
 	GMManagers []*groupmgr.Manager
+
+	// tracer is set by EnableTracing; nil otherwise (tracing off).
+	tracer *obs.Tracer
 }
 
 // NewSystem builds and wires the full deployment.
@@ -351,6 +360,7 @@ func (sys *System) buildGM() error {
 		CheckpointInterval: sys.cfg.CheckpointInterval,
 		ViewTimeout:        sys.cfg.ViewTimeout,
 		Ring:               ring,
+		Metrics:            sys.cfg.Metrics,
 	})
 	if err != nil {
 		return err
@@ -386,6 +396,7 @@ func (sys *System) buildGM() error {
 			},
 			Verify:   sys.verifyIdentity,
 			MemberOf: sys.memberOf,
+			Metrics:  sys.cfg.Metrics,
 		})
 		if err != nil {
 			return err
@@ -414,7 +425,7 @@ func (t *gmTransport) SendOrdered(domain string, payload []byte) {
 		q = t.sys.newSender(t.gmIdentity, domain)
 		t.senders[domain] = q
 	}
-	q.send(payload)
+	q.send(payload, nil)
 }
 
 // SendDirect implements groupmgr.Transport.
@@ -432,6 +443,7 @@ func (sys *System) buildDomain(spec DomainSpec) error {
 		CheckpointInterval: sys.cfg.CheckpointInterval,
 		ViewTimeout:        sys.cfg.ViewTimeout,
 		Ring:               ring,
+		Metrics:            sys.cfg.Metrics,
 	})
 	if err != nil {
 		return err
@@ -519,6 +531,30 @@ func (sys *System) Client(name string) *Client { return sys.clients[name] }
 
 // Registry returns the shared interface registry.
 func (sys *System) Registry() *idl.Registry { return sys.registry }
+
+// Metrics returns the system's metrics registry (nil when unobserved).
+func (sys *System) Metrics() *obs.Registry { return sys.cfg.Metrics }
+
+// EnableTracing turns on invocation tracing over the simulator's virtual
+// clock and returns the tracer. Call it before driving traffic: streams
+// capture the tracer when their connection is installed. Idempotent.
+func (sys *System) EnableTracing() *obs.Tracer {
+	if sys.tracer == nil {
+		sys.tracer = obs.NewTracer(sys.Net)
+	}
+	for _, dr := range sys.domains {
+		for _, el := range dr.Elements {
+			el.caller.Tracer = sys.tracer
+		}
+	}
+	for _, cl := range sys.clients {
+		cl.orb.Tracer = sys.tracer
+	}
+	return sys.tracer
+}
+
+// Tracer returns the system tracer (nil until EnableTracing).
+func (sys *System) Tracer() *obs.Tracer { return sys.tracer }
 
 // GMInfo returns the Group Manager group description.
 func (sys *System) GMInfo() smiop.PeerInfo { return sys.gmInfo }

@@ -7,6 +7,7 @@ import (
 	"itdos/internal/cdr"
 	"itdos/internal/giop"
 	"itdos/internal/idl"
+	"itdos/internal/obs"
 	"itdos/internal/vote"
 )
 
@@ -87,6 +88,12 @@ type StreamConfig struct {
 	// data context (see DataSigningBytes). Nil disables per-message
 	// signature verification (benchmark ablations only).
 	VerifySig func(srcDomain string, member uint32, signingBytes, sig []byte) bool
+	// Metrics, if non-nil, receives per-stream delivery counters. Tracer,
+	// if non-nil, wraps Deliver in smiop.deliver / smiop.unmarshal /
+	// vote.submit / vote.decide spans (Fig. 2 middle layers). Both are
+	// nil-safe.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Stream is the inbound half of a connection at one element: it
@@ -121,6 +128,16 @@ type Stream struct {
 	// faultsForwarded tracks how many voter fault reports have been passed
 	// to OnFault.
 	faultsForwarded int
+
+	// Delivery counters (nil-safe; nil when unobserved).
+	mEnvelopes   *obs.Counter
+	mDiscarded   *obs.Counter
+	mDropped     *obs.Counter
+	mFragments   *obs.Counter
+	mSubmissions *obs.Counter
+	mDecisions   *obs.Counter
+	mFaults      *obs.Counter
+	hReceived    *obs.Histogram
 }
 
 // NewStream builds the inbound pipeline for conn.
@@ -132,7 +149,28 @@ func NewStream(conn *Connection, cfg StreamConfig) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stream{cfg: cfg, conn: conn, cv: cv, frags: newReassembler()}, nil
+	s := &Stream{cfg: cfg, conn: conn, cv: cv, frags: newReassembler()}
+	if r := cfg.Metrics; r != nil {
+		mode := cfg.Mode
+		if mode == 0 {
+			mode = vote.EagerFPlus1
+		}
+		s.mEnvelopes = r.Counter("smiop_envelopes_total")
+		s.mDiscarded = r.Counter("smiop_discarded_total")
+		s.mDropped = r.Counter("smiop_dropped_total")
+		s.mFragments = r.Counter("smiop_fragments_total", "dir=in")
+		s.mSubmissions = r.Counter("vote_submissions_total")
+		s.mDecisions = r.Counter("vote_decisions_total", "mode="+mode.String())
+		s.mFaults = r.Counter("vote_fault_reports_total")
+		// How many of the n copies had arrived when the vote decided: the
+		// eager-f+1 vs wait distinction made measurable.
+		bounds := make([]float64, conn.Peer.N)
+		for i := range bounds {
+			bounds[i] = float64(i + 1)
+		}
+		s.hReceived = r.Histogram("vote_decision_received", bounds)
+	}
+	return s, nil
 }
 
 // Voter exposes the connection voter (stats, tests).
@@ -173,6 +211,13 @@ func (s *Stream) RetryReply(requestID uint64, iface, op string) error {
 // Errors are diagnostic: the stream has already accounted for the envelope
 // (dropped or submitted) when Deliver returns.
 func (s *Stream) Deliver(env *Envelope) error {
+	s.mEnvelopes.Inc()
+	sp := s.cfg.Tracer.Start("smiop.deliver",
+		fmt.Sprintf("conn=%d", env.ConnID), fmt.Sprintf("member=%d", env.SrcMember))
+	defer sp.End()
+	if env.FragCount > 1 {
+		s.mFragments.Inc()
+	}
 	if s.cfg.AutoAdvance && env.RequestID > s.cv.CurrentID() {
 		if err := s.cv.Expect(env.RequestID, s.comparator()); err != nil {
 			return err
@@ -184,11 +229,13 @@ func (s *Stream) Deliver(env *Envelope) error {
 		// Late or Byzantine — indistinguishable; discard without penalty
 		// (paper §3.6).
 		s.cv.Discarded++
+		s.mDiscarded.Inc()
 		return nil
 	}
 	plaintext, err := s.conn.OpenData(env)
 	if err != nil {
 		s.Dropped++
+		s.mDropped.Inc()
 		return err
 	}
 	// Fragmented messages reassemble before verification; incomplete
@@ -196,6 +243,7 @@ func (s *Stream) Deliver(env *Envelope) error {
 	plaintext, err = s.frags.add(env, plaintext)
 	if err != nil {
 		s.Dropped++
+		s.mDropped.Inc()
 		return err
 	}
 	if plaintext == nil {
@@ -204,6 +252,7 @@ func (s *Stream) Deliver(env *Envelope) error {
 	payload, err := DecodeSignedPayload(plaintext)
 	if err != nil {
 		s.Dropped++
+		s.mDropped.Inc()
 		return err
 	}
 	if s.cfg.VerifySig != nil {
@@ -211,6 +260,7 @@ func (s *Stream) Deliver(env *Envelope) error {
 			env.SrcMember, env.Reply, payload.GIOP)
 		if !s.cfg.VerifySig(env.SrcDomain, env.SrcMember, signing, payload.Sig) {
 			s.Dropped++
+			s.mDropped.Inc()
 			return fmt.Errorf("smiop: conn %d member %d: bad message signature",
 				s.conn.ID, env.SrcMember)
 		}
@@ -225,15 +275,21 @@ func (s *Stream) Deliver(env *Envelope) error {
 			Raw:    raw,
 		}
 	} else {
+		usp := s.cfg.Tracer.Start("smiop.unmarshal")
 		val, err := s.unmarshal(giopBytes)
+		usp.End()
 		if err != nil {
 			s.Dropped++
+			s.mDropped.Inc()
 			return err
 		}
 		sub = vote.Submission{Member: int(env.SrcMember), Value: val, Raw: raw}
 	}
 	decidedBefore := s.cv.Voter() != nil && s.cv.Voter().Decided()
+	s.mSubmissions.Inc()
+	vsp := s.cfg.Tracer.Start("vote.submit")
 	dec, err := s.cv.Submit(env.RequestID, sub)
+	vsp.End()
 	if err != nil {
 		return err
 	}
@@ -249,6 +305,8 @@ func (s *Stream) Deliver(env *Envelope) error {
 		s.OnPostDecision(env, pv)
 	}
 	if dec != nil && s.OnMessage != nil {
+		s.mDecisions.Inc()
+		s.hReceived.Observe(float64(dec.Received))
 		var val *MessageVal
 		if s.cfg.ByteVoting {
 			rawPayload, err := DecodeSignedPayload(dec.Raw)
@@ -262,7 +320,11 @@ func (s *Stream) Deliver(env *Envelope) error {
 		} else {
 			val = dec.Value.(*MessageVal)
 		}
+		dsp := s.cfg.Tracer.Start("vote.decide",
+			fmt.Sprintf("received=%d", dec.Received),
+			fmt.Sprintf("supporters=%d", len(dec.Supporters)))
 		s.OnMessage(val, dec)
+		dsp.End()
 	}
 	return nil
 }
@@ -301,6 +363,7 @@ func (s *Stream) reportFaults() {
 	for s.faultsForwarded < len(faults) {
 		f := faults[s.faultsForwarded]
 		s.faultsForwarded++
+		s.mFaults.Inc()
 		s.OnFault(f.Member, f)
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"itdos/internal/cdr"
 	"itdos/internal/netsim"
+	"itdos/internal/obs"
 	"itdos/internal/pbft"
 )
 
@@ -170,6 +171,10 @@ type Element struct {
 	// and (in a fuller system) replaced — the virtual-synchrony expulsion
 	// of paper §3.1.
 	OnDesync func(gapStart, gapEnd uint64)
+
+	// Delivery counters (nil-safe; nil when the domain is unobserved).
+	mDelivered *obs.Counter
+	mDesyncs   *obs.Counter
 }
 
 // Domain is a replication domain: a named group of SRM elements sharing a
@@ -195,6 +200,9 @@ type DomainConfig struct {
 	ViewTimeout        time.Duration
 	// Ring carries Ed25519 identities; nil selects null authentication.
 	Ring *pbft.Keyring
+	// Metrics, if non-nil, receives SRM delivery counters and the
+	// underlying PBFT group's phase counters, labelled with Name.
+	Metrics *obs.Registry
 }
 
 // NewDomain builds a replication domain on the simulated network.
@@ -211,6 +219,8 @@ func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
 		N: cfg.N, F: cfg.F,
 		CheckpointInterval: cfg.CheckpointInterval,
 		ViewTimeout:        cfg.ViewTimeout,
+		Metrics:            cfg.Metrics,
+		MetricsLabel:       cfg.Name,
 	}, cfg.Ring, func(i int) pbft.App {
 		el := elements[i]
 		el.queue = NewQueue(cfg.QueueCapacity, func(seq uint64, sender string, data []byte) {
@@ -224,6 +234,10 @@ func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
 	}
 	for i, el := range elements {
 		el.Replica = group.Replicas[i]
+		if cfg.Metrics != nil {
+			el.mDelivered = cfg.Metrics.Counter("srm_delivered_total", "group="+cfg.Name)
+			el.mDesyncs = cfg.Metrics.Counter("srm_desyncs_total", "group="+cfg.Name)
+		}
 	}
 	d.Elements = elements
 	d.Group = group
@@ -238,11 +252,10 @@ func (el *Element) deliver(seq uint64, sender string, data []byte) {
 	if seq != el.lastDelivered+1 {
 		// Ordered execution is sequential, so this indicates a restore
 		// happened without replay — handled in Resynchronise.
-		if el.OnDesync != nil {
-			el.OnDesync(el.lastDelivered+1, seq)
-		}
+		el.desync(el.lastDelivered+1, seq)
 	}
 	el.lastDelivered = seq
+	el.mDelivered.Inc()
 	if el.OnDeliver != nil {
 		el.OnDeliver(seq, sender, data)
 	}
@@ -282,6 +295,7 @@ func (el *Element) Resynchronise() {
 }
 
 func (el *Element) desync(gapStart, gapEnd uint64) {
+	el.mDesyncs.Inc()
 	if el.OnDesync != nil {
 		el.OnDesync(gapStart, gapEnd)
 	}

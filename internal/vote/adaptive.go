@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"itdos/internal/cdr"
+	"itdos/internal/obs"
 )
 
 // Adaptive implements the adaptive voting the paper lists as future work
@@ -26,6 +27,11 @@ type Adaptive struct {
 	level    int
 	voter    *Voter
 	decision *Decision
+
+	// Metrics, if set before submissions arrive, records the ε that finally
+	// decided each vote in a histogram bucketed by the widening schedule —
+	// the precision-vs-fault-tolerance audit trail the paper's §4 asks for.
+	Metrics *obs.Registry
 }
 
 // NewAdaptive builds an adaptive voter over values of type tc with the
@@ -87,6 +93,7 @@ func (a *Adaptive) Submit(s Submission) (*Decision, error) {
 	}
 	if d != nil {
 		a.decision = d
+		a.recordDecision()
 		return d, nil
 	}
 	// Escalate while stalled and a wider tolerance remains.
@@ -96,10 +103,17 @@ func (a *Adaptive) Submit(s Submission) (*Decision, error) {
 			return nil, err
 		}
 		if a.decision != nil {
+			a.recordDecision()
 			return a.decision, nil
 		}
 	}
 	return nil, nil
+}
+
+// recordDecision observes the deciding ε in the schedule-bucketed
+// histogram (no-op without Metrics).
+func (a *Adaptive) recordDecision() {
+	a.Metrics.Histogram("vote_adaptive_epsilon", a.epsilons).Observe(a.epsilons[a.level])
 }
 
 // Faults returns fault reports at the current precision level.

@@ -1,0 +1,64 @@
+package vote
+
+import (
+	"testing"
+
+	"itdos/internal/cdr"
+	"itdos/internal/obs"
+)
+
+// TestAdaptiveEpsilonHistogram mirrors the A3/C3 decision boundary: one
+// adaptive vote per value spread, and the recorded vote_adaptive_epsilon
+// histogram must land each decision in the bucket of the ε that finally
+// decided it. The spreads are A3's: two decide at the tightest level
+// (spread 0 and a spread inside 1e-12), then one per widening step.
+func TestAdaptiveEpsilonHistogram(t *testing.T) {
+	tc := cdr.StructOf("R", cdr.Member{Name: "v", Type: cdr.Double})
+	schedule := []float64{1e-12, 1e-9, 1e-6, 1e-3}
+	reg := obs.NewRegistry()
+
+	for _, spread := range []float64{0, 1e-13, 1e-10, 1e-7, 1e-4} {
+		a, err := NewAdaptive(4, 1, EagerFPlus1, tc, schedule)
+		if err != nil {
+			t.Fatalf("NewAdaptive: %v", err)
+		}
+		a.Metrics = reg
+		var decided bool
+		for i := 0; i < 4; i++ {
+			d, err := a.Submit(Submission{
+				Member: i,
+				Value:  []cdr.Value{1.0 + spread*float64(i)},
+			})
+			if err != nil {
+				t.Fatalf("spread %g: Submit: %v", spread, err)
+			}
+			if d != nil {
+				decided = true
+				break
+			}
+		}
+		if !decided {
+			t.Fatalf("spread %g: vote did not decide", spread)
+		}
+	}
+
+	h := reg.Histogram("vote_adaptive_epsilon", schedule)
+	if got := h.Count(); got != 5 {
+		t.Fatalf("decisions recorded = %d, want 5", got)
+	}
+	// Buckets are cumulative-exclusive per bound: counts[i] holds
+	// observations v <= bounds[i] not already counted lower.
+	want := []uint64{2, 1, 1, 1}
+	got := h.BucketCounts()
+	if len(got) != len(want)+1 {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want)+1)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("bucket le%g = %d, want %d", schedule[i], got[i], w)
+		}
+	}
+	if got[len(want)] != 0 {
+		t.Errorf("overflow bucket = %d, want 0 (every decision fits the schedule)", got[len(want)])
+	}
+}

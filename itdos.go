@@ -50,6 +50,7 @@ import (
 	"itdos/internal/cdr"
 	"itdos/internal/idl"
 	"itdos/internal/netsim"
+	"itdos/internal/obs"
 	"itdos/internal/orb"
 	"itdos/internal/replica"
 	"itdos/internal/vote"
@@ -186,6 +187,23 @@ const (
 	AfterQuorum = vote.AfterQuorum
 	WaitAll     = vote.WaitAll
 )
+
+// --- observability ---
+
+// Metrics is the virtual-time metrics registry (counters, gauges,
+// fixed-bucket histograms). Pass one in Config.Metrics to observe a
+// deployment; read it back with WriteText/WriteJSON.
+type Metrics = obs.Registry
+
+// Tracer records per-invocation spans over the simulator's virtual clock.
+// Obtain one with System.EnableTracing.
+type Tracer = obs.Tracer
+
+// Span is one traced operation in an invocation's span tree.
+type Span = obs.Span
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // --- simulation helpers ---
 
