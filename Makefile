@@ -8,6 +8,12 @@ FUZZTIME ?= 30s
 
 check: build vet lint race
 
+# Perf regression guard: batched ordering must keep its msgs/request win
+# (see EXPERIMENTS.md P1). CI runs this next to the tier-1 recipe.
+.PHONY: check-perf
+check-perf:
+	$(GO) run ./cmd/itdos-bench -check P1
+
 build:
 	$(GO) build ./...
 
@@ -40,10 +46,11 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzGIOPParse -fuzztime=$(FUZZTIME) ./internal/giop
 	$(GO) test -run='^$$' -fuzz=FuzzSMIOPReassemble -fuzztime=$(FUZZTIME) ./internal/smiop
 	$(GO) test -run='^$$' -fuzz=FuzzSealedOpen -fuzztime=$(FUZZTIME) ./internal/seckey
+	$(GO) test -run='^$$' -fuzz=FuzzPrePrepareDecode -fuzztime=$(FUZZTIME) ./internal/pbft
 
 # Replay the committed seed corpora without fuzzing (fast; part of CI).
 fuzz-smoke:
-	$(GO) test -run='Fuzz' ./internal/cdr ./internal/giop ./internal/smiop ./internal/seckey
+	$(GO) test -run='Fuzz' ./internal/cdr ./internal/giop ./internal/smiop ./internal/seckey ./internal/pbft
 
 # Regenerate the committed fuzz seed corpora from golden vectors.
 corpus:

@@ -12,6 +12,7 @@
 //	itdos-bench -list        # list experiments
 //	itdos-bench -markdown    # emit EXPERIMENTS-ready markdown
 //	itdos-bench -json        # write BENCH_<id>.json per experiment
+//	itdos-bench -check P1    # exit non-zero on a perf regression guard
 package main
 
 import (
@@ -38,8 +39,23 @@ func run(args []string) error {
 	markdown := fs.Bool("markdown", false, "emit markdown instead of aligned text")
 	jsonOut := fs.Bool("json", false, "write BENCH_<id>.json per experiment instead of printing")
 	outDir := fs.String("out", ".", "directory for -json output files")
+	check := fs.String("check", "", "run a regression guard (currently: P1) and exit non-zero on failure")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *check != "" {
+		switch strings.ToUpper(strings.TrimSpace(*check)) {
+		case "P1":
+			// The ISSUE headline is >= 3x; guard at 3.0.
+			if err := bench.CheckP1(3.0); err != nil {
+				return err
+			}
+			fmt.Println("check P1: ok (batched k=16 msgs/request >= 3.0x below unbatched)")
+			return nil
+		default:
+			return fmt.Errorf("unknown check %q (available: P1)", *check)
+		}
 	}
 
 	experiments := bench.All()

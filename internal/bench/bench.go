@@ -111,6 +111,7 @@ func All() []Experiment {
 		{"A2", "Group Manager replication", A2},
 		{"A3", "adaptive voting", A3},
 		{"X1", "large-object transfer (extension)", X1},
+		{"P1", "offered load vs amortised ordering cost", P1},
 	}
 }
 

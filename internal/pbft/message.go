@@ -148,15 +148,26 @@ func (m *Request) Digest() Digest {
 	return sha256.Sum256(Encode(m))
 }
 
-// PrePrepare is the primary's ordering proposal for a request at (View, Seq).
+// PrePrepare is the primary's ordering proposal for an ordered batch of
+// requests at (View, Seq). Digest covers the whole batch (BatchDigest); an
+// empty batch with a null digest is the view-change gap filler.
+//
+// Wire compatibility: the request count is one octet, so a single-request
+// pre-prepare encodes byte-identically to the legacy boolean-prefixed form
+// (count 1 == boolean true, count 0 == boolean false) and legacy frames and
+// fuzz corpora decode unchanged.
 type PrePrepare struct {
-	View    uint64
-	Seq     uint64
-	Digest  Digest
-	Request *Request // piggybacked request; nil when Digest.IsNull()
-	Replica ReplicaID
-	Sig     []byte
+	View     uint64
+	Seq      uint64
+	Digest   Digest
+	Requests []*Request // piggybacked batch; empty when Digest.IsNull()
+	Replica  ReplicaID
+	Sig      []byte
 }
+
+// MaxBatchWire is the largest batch a pre-prepare can carry: the count is a
+// single octet on the wire.
+const MaxBatchWire = 255
 
 // Type implements Message.
 func (*PrePrepare) Type() MsgType { return MTPrePrepare }
@@ -165,11 +176,9 @@ func (m *PrePrepare) marshal(e *cdr.Encoder) {
 	e.WriteULongLong(m.View)
 	e.WriteULongLong(m.Seq)
 	e.WriteOctets(m.Digest[:])
-	if m.Request != nil {
-		e.WriteBoolean(true)
-		m.Request.marshal(e)
-	} else {
-		e.WriteBoolean(false)
+	e.WriteOctet(byte(len(m.Requests)))
+	for _, req := range m.Requests {
+		req.marshal(e)
 	}
 	e.WriteLong(int32(m.Replica))
 	e.WriteOctets(m.Sig)
@@ -186,14 +195,17 @@ func (m *PrePrepare) unmarshal(d *cdr.Decoder) error {
 	if err = readDigest(d, &m.Digest); err != nil {
 		return err
 	}
-	hasReq, err := d.ReadBoolean()
+	count, err := d.ReadOctet()
 	if err != nil {
 		return err
 	}
-	if hasReq {
-		m.Request = &Request{}
-		if err = m.Request.unmarshal(d); err != nil {
-			return err
+	if count > 0 {
+		m.Requests = make([]*Request, count)
+		for i := range m.Requests {
+			m.Requests[i] = &Request{}
+			if err = m.Requests[i].unmarshal(d); err != nil {
+				return err
+			}
 		}
 	}
 	if err = readReplica(d, &m.Replica); err != nil {
@@ -201,6 +213,27 @@ func (m *PrePrepare) unmarshal(d *cdr.Decoder) error {
 	}
 	m.Sig, err = readOctetsCopy(d)
 	return err
+}
+
+// BatchDigest returns the digest a pre-prepare must carry for the given
+// batch. A single request keeps its own digest (identical to the legacy
+// single-request protocol); a larger batch hashes the member digests in
+// order; an empty batch is the null request.
+func BatchDigest(reqs []*Request) Digest {
+	switch len(reqs) {
+	case 0:
+		return NullDigest
+	case 1:
+		return reqs[0].Digest()
+	}
+	h := sha256.New()
+	for _, req := range reqs {
+		d := req.Digest()
+		h.Write(d[:])
+	}
+	var out Digest
+	copy(out[:], h.Sum(nil))
+	return out
 }
 
 func (m *PrePrepare) sigRef() *[]byte { return &m.Sig }

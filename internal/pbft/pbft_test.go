@@ -393,7 +393,12 @@ func TestMessageRoundTrips(t *testing.T) {
 	reqs := []Message{
 		&Request{ClientID: "c", ClientSeq: 9, Op: []byte("op"), ReplyTo: "addr", Sig: []byte{1}},
 		&PrePrepare{View: 1, Seq: 2, Digest: Digest{3}, Replica: 1, Sig: []byte{4},
-			Request: &Request{ClientID: "c", ClientSeq: 9, Op: []byte("op")}},
+			Requests: []*Request{{ClientID: "c", ClientSeq: 9, Op: []byte("op")}}},
+		&PrePrepare{View: 1, Seq: 3, Digest: Digest{4}, Replica: 1, Sig: []byte{4},
+			Requests: []*Request{
+				{ClientID: "a", ClientSeq: 1, Op: []byte("op1")},
+				{ClientID: "b", ClientSeq: 2, Op: []byte("op2"), ReplyTo: "addr"},
+			}},
 		&Prepare{View: 1, Seq: 2, Digest: Digest{3}, Replica: 2, Sig: []byte{5}},
 		&Commit{View: 1, Seq: 2, Digest: Digest{3}, Replica: 3, Sig: []byte{6}},
 		&Reply{View: 1, ClientID: "c", ClientSeq: 9, Replica: 2, Result: []byte("r"), Sig: []byte{7}},
@@ -425,7 +430,7 @@ func TestMessageRoundTrips(t *testing.T) {
 
 func TestDecodeGarbageNeverPanics(t *testing.T) {
 	good := Encode(&PrePrepare{View: 1, Seq: 2, Digest: Digest{3}, Replica: 1,
-		Request: &Request{ClientID: "c", Op: []byte("x")}})
+		Requests: []*Request{{ClientID: "c", Op: []byte("x")}}})
 	for cut := 0; cut <= len(good); cut++ {
 		_, _ = Decode(good[:cut])
 	}

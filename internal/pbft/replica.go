@@ -43,6 +43,10 @@ type Env interface {
 	SetTimer(d time.Duration)
 	// StopTimer disarms the view-change timer.
 	StopTimer()
+	// SetBatchTimer (re)arms the batch-accumulation timer, which fires
+	// HandleBatchTimer after d. It is only armed by a primary with
+	// Config.MaxBatch > 1; a firing with nothing pending is a no-op.
+	SetBatchTimer(d time.Duration)
 }
 
 // Config parameterises a replica group.
@@ -59,6 +63,19 @@ type Config struct {
 	// ViewTimeout is the base view-change timeout; it doubles on
 	// consecutive failed view changes and resets on progress.
 	ViewTimeout time.Duration
+	// MaxBatch is the largest request batch one pre-prepare may carry.
+	// 0 or 1 selects the legacy unbatched protocol: every request is
+	// proposed immediately in its own agreement round, with a message
+	// schedule identical to the pre-batching implementation (the
+	// determinism regression guard for recorded experiments). Above 1 the
+	// primary accumulates concurrently-arriving requests for BatchWait and
+	// orders them as one batch, amortising the quadratic prepare/commit
+	// traffic over up to MaxBatch requests per round.
+	MaxBatch int
+	// BatchWait is how long the primary accumulates a batch before
+	// proposing it (only used when MaxBatch > 1). It should be comparable
+	// to the transport latency spread so concurrent arrivals coalesce.
+	BatchWait time.Duration
 	// Auth signs and verifies every message.
 	Auth Authenticator
 	// Metrics, if non-nil, receives protocol-phase counters. MetricsLabel
@@ -77,6 +94,15 @@ func (c *Config) fill() error {
 	}
 	if c.ViewTimeout == 0 {
 		c.ViewTimeout = 500 * time.Millisecond
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 1
+	}
+	if c.MaxBatch < 1 || c.MaxBatch > MaxBatchWire {
+		return fmt.Errorf("pbft: max batch %d out of range [1,%d]", c.MaxBatch, MaxBatchWire)
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 2 * time.Millisecond
 	}
 	if c.N < 3*c.F+1 {
 		return fmt.Errorf("pbft: n=%d cannot tolerate f=%d (need n >= 3f+1)", c.N, c.F)
@@ -145,6 +171,20 @@ type Replica struct {
 	outstanding map[Digest]*Request
 	// buffered holds requests the primary cannot order yet (window full).
 	buffered []*Request
+	// pending accumulates the batch under construction (primary with
+	// MaxBatch > 1); pendingSet dedupes client retransmissions against it.
+	pending         []*Request
+	pendingSet      map[Digest]bool
+	batchTimerArmed bool
+
+	// ppIndex maps each unexecuted proposed request digest to the log
+	// sequence of the pre-prepare carrying it, replacing the O(window)
+	// logSeqs scan assignOrder used for duplicate detection. Maintained on
+	// accept/execute and rebuilt on checkpoint GC and view installation;
+	// where the same digest could appear at two sequences (only a Byzantine
+	// primary can cause this) the lowest live sequence wins, so behaviour
+	// never depends on map iteration order.
+	ppIndex map[Digest]uint64
 
 	inViewChange bool
 	vcTimeout    time.Duration
@@ -167,6 +207,10 @@ type Replica struct {
 	mViewChanges    *obs.Counter
 	mNewViews       *obs.Counter
 	mStateTransfers *obs.Counter
+	mBatches        *obs.Counter
+	mBatchedReqs    *obs.Counter
+	hBatchSize      *obs.Histogram
+	gBacklog        *obs.Gauge
 }
 
 // NewReplica constructs a replica over app and env.
@@ -183,6 +227,8 @@ func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
 		snapshots:   make(map[uint64][]byte),
 		clientTable: make(map[string]*clientRecord),
 		outstanding: make(map[Digest]*Request),
+		pendingSet:  make(map[Digest]bool),
+		ppIndex:     make(map[Digest]uint64),
 		viewChanges: make(map[uint64]map[ReplicaID]*ViewChange),
 		vcTimeout:   cfg.ViewTimeout,
 	}
@@ -196,6 +242,11 @@ func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
 		r.mViewChanges = m.Counter("pbft_view_changes_total", label)
 		r.mNewViews = m.Counter("pbft_new_views_total", label)
 		r.mStateTransfers = m.Counter("pbft_state_transfers_total", label)
+		r.mBatches = m.Counter("pbft_batches_total", label)
+		r.mBatchedReqs = m.Counter("pbft_batched_requests_total", label)
+		r.hBatchSize = m.Histogram("pbft_batch_size",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}, label)
+		r.gBacklog = m.Gauge("pbft_primary_backlog", label)
 	}
 	// Seq 0 is the genesis stable checkpoint; its snapshot is the initial
 	// state so peers can bootstrap from it.
@@ -346,29 +397,91 @@ func (r *Replica) assignOrder(req *Request) {
 	d := req.Digest()
 	// Don't order the same request twice (client retransmissions). Instead,
 	// retransmit the existing pre-prepare: a backup may have missed it
-	// (e.g. it raced ahead of the NEW-VIEW installing this view). Scan in
-	// sequence order so the replay schedule stays deterministic.
-	for _, seq := range r.logSeqs() {
-		en := r.log[seq]
-		if en.prePrepare != nil && en.prePrepare.Digest == d && !en.executed {
+	// (e.g. it raced ahead of the NEW-VIEW installing this view). The
+	// digest→seq index makes this O(1) instead of the former O(window)
+	// sorted log scan.
+	if seq, ok := r.ppIndex[d]; ok {
+		if en := r.log[seq]; en != nil && en.prePrepare != nil && !en.executed {
 			if en.prePrepare.View == r.view {
 				r.env.Broadcast(Encode(en.prePrepare))
 			}
 			return
 		}
+		delete(r.ppIndex, d)
+	}
+	if r.cfg.MaxBatch > 1 {
+		// Batching: accumulate the request and propose on the batch timer,
+		// so concurrent arrivals share one agreement round.
+		if r.pendingSet[d] {
+			return
+		}
+		r.outstanding[d] = req
+		r.pending = append(r.pending, req)
+		r.pendingSet[d] = true
+		r.setBacklogGauge()
+		if !r.batchTimerArmed {
+			r.batchTimerArmed = true
+			r.env.SetBatchTimer(r.cfg.BatchWait)
+		}
+		return
 	}
 	if r.seq < r.lowWater {
 		r.seq = r.lowWater
 	}
 	if r.seq+1 > r.lowWater+r.cfg.WindowSize {
 		r.buffered = append(r.buffered, req)
+		r.setBacklogGauge()
 		return
 	}
-	r.seq++
 	r.outstanding[d] = req
+	r.proposeBatch([]*Request{req})
+}
+
+// HandleBatchTimer proposes the accumulated batch. Drive it from the same
+// single-threaded loop as HandleMessage/HandleTimer.
+func (r *Replica) HandleBatchTimer() {
+	r.batchTimerArmed = false
+	r.flushPending()
+}
+
+// flushPending proposes the accumulated requests as batches of up to
+// MaxBatch, as far as the ordering window allows. Batches are pipelined:
+// when more than MaxBatch requests are pending, several pre-prepares go out
+// back to back and run their three-phase rounds concurrently within the
+// window.
+func (r *Replica) flushPending() {
+	if !r.isPrimary() || r.inViewChange || len(r.pending) == 0 {
+		return
+	}
+	if r.seq < r.lowWater {
+		r.seq = r.lowWater
+	}
+	for len(r.pending) > 0 && r.seq+1 <= r.lowWater+r.cfg.WindowSize {
+		k := len(r.pending)
+		if k > r.cfg.MaxBatch {
+			k = r.cfg.MaxBatch
+		}
+		batch := append([]*Request(nil), r.pending[:k]...)
+		r.pending = append(r.pending[:0], r.pending[k:]...)
+		for _, req := range batch {
+			delete(r.pendingSet, req.Digest())
+		}
+		r.proposeBatch(batch)
+	}
+	if len(r.pending) == 0 {
+		r.pending = nil
+	}
+	r.setBacklogGauge()
+}
+
+// proposeBatch assigns the next sequence number to the batch and broadcasts
+// its pre-prepare. The window must have been checked by the caller for the
+// legacy path; the batch path re-checks in flushPending.
+func (r *Replica) proposeBatch(batch []*Request) {
+	r.seq++
 	pp := &PrePrepare{
-		View: r.view, Seq: r.seq, Digest: d,
-		Request: req, Replica: r.cfg.ID,
+		View: r.view, Seq: r.seq, Digest: BatchDigest(batch),
+		Requests: batch, Replica: r.cfg.ID,
 	}
 	r.broadcast(pp)
 	r.mPrePrepares.Inc()
@@ -385,6 +498,45 @@ func (r *Replica) drainBuffered() {
 	for _, req := range buf {
 		r.onRequest(req)
 	}
+	r.flushPending()
+	r.setBacklogGauge()
+}
+
+// setBacklogGauge publishes the primary's unproposed backlog depth.
+func (r *Replica) setBacklogGauge() {
+	r.gBacklog.Set(float64(len(r.buffered) + len(r.pending)))
+}
+
+// indexRequests records each request of an accepted pre-prepare in the
+// digest→seq duplicate-detection index. An existing mapping to a live,
+// unexecuted lower sequence is kept (deterministic lowest-seq-wins).
+func (r *Replica) indexRequests(pp *PrePrepare) {
+	for _, req := range pp.Requests {
+		d := req.Digest()
+		if old, ok := r.ppIndex[d]; ok && old < pp.Seq {
+			if en := r.log[old]; en != nil && en.prePrepare != nil && !en.executed {
+				continue
+			}
+		}
+		r.ppIndex[d] = pp.Seq
+	}
+}
+
+// reindexLog rebuilds the duplicate-detection index from the live log,
+// after bulk log mutation (checkpoint GC, view installation).
+func (r *Replica) reindexLog() {
+	r.ppIndex = make(map[Digest]uint64, len(r.ppIndex))
+	for seq, en := range r.log {
+		if en.prePrepare == nil || en.executed {
+			continue
+		}
+		for _, req := range en.prePrepare.Requests {
+			d := req.Digest()
+			if old, ok := r.ppIndex[d]; !ok || seq < old {
+				r.ppIndex[d] = seq
+			}
+		}
+	}
 }
 
 // --- three-phase ordering ---
@@ -399,14 +551,7 @@ func (r *Replica) onPrePrepare(pp *PrePrepare) {
 	if !r.inWindow(pp.Seq) {
 		return
 	}
-	if pp.Request != nil {
-		if pp.Request.Digest() != pp.Digest {
-			return
-		}
-		if !VerifyMessage(r.cfg.Auth, pp.Request) {
-			return
-		}
-	} else if !pp.Digest.IsNull() {
+	if !r.validBatch(pp) {
 		return
 	}
 	en := r.entryAt(pp.Seq)
@@ -436,12 +581,39 @@ func (r *Replica) onPrePrepare(pp *PrePrepare) {
 	r.armTimer()
 }
 
+// validBatch checks a pre-prepare's piggybacked batch against its digest:
+// the digest must cover the batch, every request must carry a valid client
+// signature, and a Byzantine primary may not stuff the same request into a
+// batch twice. An empty batch must carry the null digest (view-change gap
+// filler).
+func (r *Replica) validBatch(pp *PrePrepare) bool {
+	if len(pp.Requests) == 0 {
+		return pp.Digest.IsNull()
+	}
+	if BatchDigest(pp.Requests) != pp.Digest {
+		return false
+	}
+	seen := make(map[Digest]bool, len(pp.Requests))
+	for _, req := range pp.Requests {
+		d := req.Digest()
+		if seen[d] {
+			return false
+		}
+		seen[d] = true
+		if !VerifyMessage(r.cfg.Auth, req) {
+			return false
+		}
+	}
+	return true
+}
+
 func (r *Replica) acceptPrePrepare(pp *PrePrepare) {
 	en := r.entryAt(pp.Seq)
 	en.prePrepare = pp
-	if pp.Request != nil {
-		r.outstanding[pp.Digest] = pp.Request
+	for _, req := range pp.Requests {
+		r.outstanding[req.Digest()] = req
 	}
+	r.indexRequests(pp)
 	r.tryPrepared(pp.Seq)
 }
 
@@ -575,8 +747,15 @@ func (r *Replica) executeEntry(seq uint64, en *entry) {
 	r.lastExec = seq
 	r.mExecutions.Inc()
 	pp := en.prePrepare
-	if pp.Request != nil {
-		req := pp.Request
+	if len(pp.Requests) > 0 {
+		r.mBatches.Inc()
+		r.mBatchedReqs.Add(uint64(len(pp.Requests)))
+		r.hBatchSize.Observe(float64(len(pp.Requests)))
+	}
+	// Execute the batch in proposal order: every replica walks the same
+	// slice, so each request becomes its own deterministic App operation.
+	for _, req := range pp.Requests {
+		d := req.Digest()
 		rec := r.clientTable[req.ClientID]
 		if rec == nil || req.ClientSeq > rec.seq {
 			result := r.app.Execute(req.ClientID, req.Op)
@@ -595,7 +774,8 @@ func (r *Replica) executeEntry(seq uint64, en *entry) {
 				r.OnExecute(seq, req, result)
 			}
 		}
-		delete(r.outstanding, pp.Digest)
+		delete(r.outstanding, d)
+		delete(r.ppIndex, d)
 	}
 	// Progress was made: reset view-change pressure.
 	r.vcTimeout = r.cfg.ViewTimeout
@@ -770,6 +950,7 @@ func (r *Replica) stabilise(seq uint64, proof []*Checkpoint) {
 			delete(r.snapshots, s)
 		}
 	}
+	r.reindexLog()
 	r.drainBuffered()
 }
 

@@ -9,12 +9,14 @@ import (
 
 // SimReplicaEnv adapts a netsim.Network to the replica Env interface.
 type SimReplicaEnv struct {
-	net     *netsim.Network
-	self    netsim.NodeID
-	addrs   []netsim.NodeID
-	selfIdx ReplicaID
-	timer   netsim.Timer
-	onTimer func()
+	net          *netsim.Network
+	self         netsim.NodeID
+	addrs        []netsim.NodeID
+	selfIdx      ReplicaID
+	timer        netsim.Timer
+	onTimer      func()
+	batchTimer   netsim.Timer
+	onBatchTimer func()
 }
 
 var _ Env = (*SimReplicaEnv)(nil)
@@ -60,6 +62,16 @@ func (e *SimReplicaEnv) SetTimer(d time.Duration) {
 
 // StopTimer implements Env.
 func (e *SimReplicaEnv) StopTimer() { e.timer.Stop() }
+
+// SetBatchTimer implements Env.
+func (e *SimReplicaEnv) SetBatchTimer(d time.Duration) {
+	e.batchTimer.Stop()
+	e.batchTimer = e.net.After(d, func() {
+		if e.onBatchTimer != nil {
+			e.onBatchTimer()
+		}
+	})
+}
 
 // SimClientEnv adapts a netsim.Network to the ClientEnv interface.
 type SimClientEnv struct {
@@ -158,6 +170,7 @@ func NewSimGroup(net *netsim.Network, name string, cfg Config, ring *Keyring,
 			return nil, fmt.Errorf("pbft: build %s replica %d: %w", name, i, err)
 		}
 		env.onTimer = rep.HandleTimer
+		env.onBatchTimer = rep.HandleBatchTimer
 		net.AddNode(g.Addrs[i], netsim.HandlerFunc(func(_ netsim.NodeID, payload []byte) {
 			rep.HandleMessage(payload)
 		}))

@@ -15,6 +15,15 @@ func (r *Replica) startViewChange(newView uint64) {
 	}
 	r.view = newView
 	r.inViewChange = true
+	// Abandon the batch under construction: its requests remain in
+	// outstanding, so the NEW-VIEW installer re-drives them (either into O
+	// via a prepared certificate, or as fresh requests to the new primary).
+	r.pending = nil
+	for d := range r.pendingSet {
+		delete(r.pendingSet, d)
+	}
+	r.batchTimerArmed = false
+	r.setBacklogGauge()
 	vc := &ViewChange{
 		NewView:         newView,
 		LastStable:      r.lowWater,
@@ -150,8 +159,11 @@ func (r *Replica) computeNewViewPrePrepares(view uint64, vcs []*ViewChange) []*P
 		}
 		pp := &PrePrepare{View: view, Seq: seq, Replica: r.Primary(view)}
 		if best != nil {
+			// Re-propose the prepared batch intact: same requests, same
+			// order, same digest — a committed batch must execute with the
+			// boundaries it prepared with.
 			pp.Digest = best.PrePrepare.Digest
-			pp.Request = best.PrePrepare.Request
+			pp.Requests = best.PrePrepare.Requests
 		} // else: null request (zero digest)
 		SignMessage(r.cfg.Auth, pp)
 		pps = append(pps, pp)
@@ -210,11 +222,7 @@ func (r *Replica) onNewView(nv *NewView) {
 		if pp.Replica != r.Primary(nv.View) || !VerifyMessage(r.cfg.Auth, pp) {
 			return
 		}
-		if pp.Request != nil {
-			if pp.Request.Digest() != pp.Digest || !VerifyMessage(r.cfg.Auth, pp.Request) {
-				return
-			}
-		} else if !pp.Digest.IsNull() {
+		if !r.validBatch(pp) {
 			return
 		}
 	}
@@ -255,8 +263,8 @@ func (r *Replica) installNewView(nv *NewView) {
 		en.sentCommit = false
 		en.prepares = make(map[ReplicaID]*Prepare)
 		en.commits = make(map[ReplicaID]*Commit)
-		if pp.Request != nil {
-			r.outstanding[pp.Digest] = pp.Request
+		for _, req := range pp.Requests {
+			r.outstanding[req.Digest()] = req
 		}
 		if !isPrimary {
 			p := &Prepare{View: pp.View, Seq: pp.Seq, Digest: pp.Digest, Replica: r.cfg.ID}
@@ -270,10 +278,16 @@ func (r *Replica) installNewView(nv *NewView) {
 			delete(r.viewChanges, v)
 		}
 	}
-	// Drive outstanding client requests into the new view.
+	// The install loop replaced log entries wholesale; rebuild the
+	// duplicate-detection index from what survived.
+	r.reindexLog()
+	// Drive outstanding client requests into the new view. A re-proposed
+	// batch covers every request inside it.
 	reproposed := make(map[Digest]bool)
 	for _, pp := range nv.PrePrepares {
-		reproposed[pp.Digest] = true
+		for _, req := range pp.Requests {
+			reproposed[req.Digest()] = true
+		}
 	}
 	var pending []*Request
 	for d, req := range r.outstanding {
@@ -330,11 +344,7 @@ func (r *Replica) verifyViewChange(vc *ViewChange) bool {
 		if pp.Replica != r.Primary(pp.View) || !VerifyMessage(r.cfg.Auth, pp) {
 			return false
 		}
-		if pp.Request != nil {
-			if pp.Request.Digest() != pp.Digest {
-				return false
-			}
-		} else if !pp.Digest.IsNull() {
+		if !r.validBatch(pp) {
 			return false
 		}
 		seenRep := make(map[ReplicaID]bool)

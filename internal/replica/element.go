@@ -52,6 +52,7 @@ func newElement(sys *System, dr *DomainRuntime, member int, profile Profile) (*E
 	el.srmEl = dr.Dom.Elements[member]
 	el.srmEl.OnDeliver = el.onDeliver
 	el.srmEl.OnDesync = func(gapStart, gapEnd uint64) { el.Desynced = true }
+	el.setHeldGauge() // register the series at zero, not on first stall
 	return el, nil
 }
 
@@ -81,6 +82,7 @@ func (el *Element) onDeliver(seq uint64, sender string, data []byte) {
 	case smiop.KindData:
 		if el.holding {
 			el.held = append(el.held, env)
+			el.setHeldGauge()
 			return
 		}
 		el.processData(env)
@@ -118,9 +120,16 @@ func (el *Element) processData(env *smiop.Envelope) {
 		// upcall order identical on every element.
 		el.holding = true
 		el.held = append(el.held, env)
+		el.setHeldGauge()
 		return
 	}
 	el.handleData(env)
+}
+
+// setHeldGauge publishes the depth of the key-stalled envelope buffer.
+func (el *Element) setHeldGauge() {
+	el.sys.cfg.Metrics.Gauge("element_held_envelopes", "domain="+el.local.Name).
+		Set(float64(len(el.held)))
 }
 
 func (el *Element) drainHeld() {
@@ -130,9 +139,11 @@ func (el *Element) drainHeld() {
 	el.holding = false
 	held := el.held
 	el.held = nil
+	el.setHeldGauge()
 	for i, env := range held {
 		if el.holding {
 			el.held = append(el.held, held[i:]...)
+			el.setHeldGauge()
 			return
 		}
 		el.processData(env)

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -83,6 +84,51 @@ func TestTraceSpanSequence(t *testing.T) {
 	}
 	if last := root.Children[len(root.Children)-1]; last.Name != "orb.unmarshal" {
 		t.Errorf("invoke's last child = %s, want orb.unmarshal", last.Name)
+	}
+}
+
+// TestQueueDepthGaugesRegistered: one end-to-end invocation must register
+// every backlog/queue gauge in the registry — SRM retained-window depth,
+// element held-envelope count, in-flight votes, and the PBFT primary
+// backlog — and leave them at sane values once the system drains: retained
+// messages stay in the window (depth > 0), but nothing is still held,
+// pending, or mid-vote.
+func TestQueueDepthGaugesRegistered(t *testing.T) {
+	metrics := obs.NewRegistry()
+	ts := newCalcSystem(t, 9, func(cfg *SystemConfig) {
+		cfg.Metrics = metrics
+		cfg.MaxBatch = 4
+	})
+	alice := ts.sys.Client("alice")
+	for i := 0; i < 3; i++ {
+		if _, err := alice.CallAndRun(calcRef, "add", []cdr.Value{1.0, float64(i)}, 50_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.sys.Net.Run(1_000_000)
+
+	var text strings.Builder
+	if err := metrics.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"srm_queue_depth", "element_held_envelopes", "vote_inflight", "pbft_primary_backlog",
+	} {
+		if !strings.Contains(text.String(), name) {
+			t.Errorf("gauge %s not in registry dump:\n%s", name, text.String())
+		}
+	}
+	if got := metrics.Gauge("srm_queue_depth", "group=calc").Value(); got <= 0 {
+		t.Errorf("srm_queue_depth = %v, want > 0 (window retains delivered messages)", got)
+	}
+	if got := metrics.Gauge("element_held_envelopes", "domain=calc").Value(); got != 0 {
+		t.Errorf("element_held_envelopes = %v after drain, want 0", got)
+	}
+	if got := metrics.Gauge("vote_inflight").Value(); got != 0 {
+		t.Errorf("vote_inflight = %v after drain, want 0", got)
+	}
+	if got := metrics.Gauge("pbft_primary_backlog", "group=calc").Value(); got != 0 {
+		t.Errorf("pbft_primary_backlog = %v after drain, want 0", got)
 	}
 }
 

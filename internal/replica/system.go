@@ -86,6 +86,12 @@ type SystemConfig struct {
 	ViewTimeout        time.Duration
 	SendTimeout        time.Duration
 
+	// MaxBatch and BatchWait tune PBFT request batching in every
+	// replication domain (see pbft.Config); zero selects the legacy
+	// unbatched protocol.
+	MaxBatch  int
+	BatchWait time.Duration
+
 	// FragmentSize splits data messages larger than this into SMIOP
 	// fragments (paper §4 large-object support). 0 selects the default
 	// (16 KiB).
@@ -359,6 +365,8 @@ func (sys *System) buildGM() error {
 		QueueCapacity:      sys.cfg.QueueCapacity,
 		CheckpointInterval: sys.cfg.CheckpointInterval,
 		ViewTimeout:        sys.cfg.ViewTimeout,
+		MaxBatch:           sys.cfg.MaxBatch,
+		BatchWait:          sys.cfg.BatchWait,
 		Ring:               ring,
 		Metrics:            sys.cfg.Metrics,
 	})
@@ -442,6 +450,8 @@ func (sys *System) buildDomain(spec DomainSpec) error {
 		QueueCapacity:      sys.cfg.QueueCapacity,
 		CheckpointInterval: sys.cfg.CheckpointInterval,
 		ViewTimeout:        sys.cfg.ViewTimeout,
+		MaxBatch:           sys.cfg.MaxBatch,
+		BatchWait:          sys.cfg.BatchWait,
 		Ring:               ring,
 		Metrics:            sys.cfg.Metrics,
 	})

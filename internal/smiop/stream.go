@@ -129,6 +129,11 @@ type Stream struct {
 	// to OnFault.
 	faultsForwarded int
 
+	// voteOpen tracks whether this stream has an undecided vote, backing
+	// the vote_inflight gauge (each stream holds at most one open vote;
+	// advancing to a new request id abandons, not closes, the old one).
+	voteOpen bool
+
 	// Delivery counters (nil-safe; nil when unobserved).
 	mEnvelopes   *obs.Counter
 	mDiscarded   *obs.Counter
@@ -138,6 +143,7 @@ type Stream struct {
 	mDecisions   *obs.Counter
 	mFaults      *obs.Counter
 	hReceived    *obs.Histogram
+	gInflight    *obs.Gauge
 }
 
 // NewStream builds the inbound pipeline for conn.
@@ -169,6 +175,7 @@ func NewStream(conn *Connection, cfg StreamConfig) (*Stream, error) {
 			bounds[i] = float64(i + 1)
 		}
 		s.hReceived = r.Histogram("vote_decision_received", bounds)
+		s.gInflight = r.Gauge("vote_inflight")
 	}
 	return s, nil
 }
@@ -190,6 +197,7 @@ func (s *Stream) ExpectReply(requestID uint64, iface, op string) error {
 	if err := s.cv.Expect(requestID, s.comparator()); err != nil {
 		return err
 	}
+	s.markVoteOpen()
 	s.faultsForwarded = 0
 	s.frags.reset()
 	return nil
@@ -202,9 +210,25 @@ func (s *Stream) RetryReply(requestID uint64, iface, op string) error {
 	if err := s.cv.Redo(requestID, s.comparator()); err != nil {
 		return err
 	}
+	s.markVoteOpen()
 	s.faultsForwarded = 0
 	s.frags.reset()
 	return nil
+}
+
+// markVoteOpen / markVoteClosed maintain the vote_inflight gauge.
+func (s *Stream) markVoteOpen() {
+	if !s.voteOpen {
+		s.voteOpen = true
+		s.gInflight.Add(1)
+	}
+}
+
+func (s *Stream) markVoteClosed() {
+	if s.voteOpen {
+		s.voteOpen = false
+		s.gInflight.Add(-1)
+	}
 }
 
 // Deliver processes one inbound data envelope through the full pipeline.
@@ -222,6 +246,7 @@ func (s *Stream) Deliver(env *Envelope) error {
 		if err := s.cv.Expect(env.RequestID, s.comparator()); err != nil {
 			return err
 		}
+		s.markVoteOpen()
 		s.faultsForwarded = 0
 		s.frags.reset()
 	}
@@ -303,6 +328,9 @@ func (s *Stream) Deliver(env *Envelope) error {
 			pv = mv
 		}
 		s.OnPostDecision(env, pv)
+	}
+	if dec != nil {
+		s.markVoteClosed()
 	}
 	if dec != nil && s.OnMessage != nil {
 		s.mDecisions.Inc()

@@ -58,6 +58,9 @@ type Queue struct {
 	// onRestore fires after a state transfer replaced the queue, so the
 	// element can replay retained messages before execution resumes.
 	onRestore func()
+
+	// gDepth publishes the retained window depth (nil-safe).
+	gDepth *obs.Gauge
 }
 
 var _ pbft.App = (*Queue)(nil)
@@ -79,6 +82,7 @@ func (q *Queue) Execute(clientID string, op []byte) []byte {
 	if len(q.window) > q.capacity {
 		q.window = append([]queuedMsg(nil), q.window[len(q.window)-q.capacity:]...)
 	}
+	q.gDepth.Set(float64(len(q.window)))
 	if q.onAppend != nil {
 		q.onAppend(seq, clientID, op)
 	}
@@ -144,6 +148,7 @@ func (q *Queue) Restore(snapshot []byte) error {
 	}
 	q.nextSeq = nextSeq
 	q.window = window
+	q.gDepth.Set(float64(len(q.window)))
 	if q.onRestore != nil {
 		q.onRestore()
 	}
@@ -198,6 +203,10 @@ type DomainConfig struct {
 	// CheckpointInterval, ViewTimeout tune the underlying PBFT group.
 	CheckpointInterval uint64
 	ViewTimeout        time.Duration
+	// MaxBatch and BatchWait tune request batching in the ordering layer
+	// (see pbft.Config). Zero values select the legacy unbatched protocol.
+	MaxBatch  int
+	BatchWait time.Duration
 	// Ring carries Ed25519 identities; nil selects null authentication.
 	Ring *pbft.Keyring
 	// Metrics, if non-nil, receives SRM delivery counters and the
@@ -219,6 +228,8 @@ func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
 		N: cfg.N, F: cfg.F,
 		CheckpointInterval: cfg.CheckpointInterval,
 		ViewTimeout:        cfg.ViewTimeout,
+		MaxBatch:           cfg.MaxBatch,
+		BatchWait:          cfg.BatchWait,
 		Metrics:            cfg.Metrics,
 		MetricsLabel:       cfg.Name,
 	}, cfg.Ring, func(i int) pbft.App {
@@ -227,6 +238,9 @@ func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
 			el.deliver(seq, sender, data)
 		})
 		el.queue.onRestore = el.Resynchronise
+		if cfg.Metrics != nil {
+			el.queue.gDepth = cfg.Metrics.Gauge("srm_queue_depth", "group="+cfg.Name)
+		}
 		return el.queue
 	})
 	if err != nil {
@@ -360,4 +374,45 @@ func (s *Sender) wire(cli *pbft.Client) {
 // sequence number.
 func (s *Sender) Send(data []byte) (uint64, error) {
 	return s.Client.Invoke(data)
+}
+
+// SenderPool is k independent senders into one domain, so an endpoint can
+// keep k invocations in flight concurrently (each pbft.Client allows one
+// outstanding request — concurrency is a pool of clients, exactly how a
+// multi-threaded ORB endpoint would look to the ordering layer). It exists
+// to generate genuine concurrent load: without it the primary never sees
+// more than one orderable request at a time and batching has nothing to
+// amortise.
+type SenderPool struct {
+	Senders []*Sender
+}
+
+// NewSenderPool builds k senders with identities id-0..id-(k-1) at
+// transport addresses addr/0..addr/(k-1).
+func NewSenderPool(d *Domain, id, addr string, k int, ring *pbft.Keyring, timeout time.Duration) (*SenderPool, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("srm: sender pool size %d", k)
+	}
+	p := &SenderPool{Senders: make([]*Sender, k)}
+	for i := 0; i < k; i++ {
+		s, err := NewSender(d, fmt.Sprintf("%s-%d", id, i), fmt.Sprintf("%s/%d", addr, i), ring, timeout)
+		if err != nil {
+			return nil, err
+		}
+		p.Senders[i] = s
+	}
+	return p, nil
+}
+
+// SendAll starts one invocation on every sender in pool order. Senders with
+// an invocation still in flight are skipped; the number of sends actually
+// started is returned.
+func (p *SenderPool) SendAll(data []byte) int {
+	started := 0
+	for _, s := range p.Senders {
+		if _, err := s.Send(data); err == nil {
+			started++
+		}
+	}
+	return started
 }
