@@ -8,11 +8,13 @@ FUZZTIME ?= 30s
 
 check: build vet lint race
 
-# Perf regression guard: batched ordering must keep its msgs/request win
-# (see EXPERIMENTS.md P1). CI runs this next to the tier-1 recipe.
+# Perf regression guards: batched ordering keeps its msgs/request win (P1),
+# digest replies keep their bytes/call win (P2), and the read-only fast path
+# keeps its msgs+latency win (P3); see EXPERIMENTS.md. CI runs this next to
+# the tier-1 recipe.
 .PHONY: check-perf
 check-perf:
-	$(GO) run ./cmd/itdos-bench -check P1
+	$(GO) run ./cmd/itdos-bench -check P1,P2,P3
 
 build:
 	$(GO) build ./...
@@ -39,12 +41,15 @@ bench-json:
 	mkdir -p bench-out
 	$(GO) run ./cmd/itdos-bench -json -out bench-out
 	$(GO) run ./cmd/itdos-demo -calls 2 -trace > bench-out/TRACE_sample.txt
+	$(GO) run ./cmd/itdos-demo -calls 2 -trace-json > bench-out/TRACE_sample.json
 
 # Continuous fuzzing of each decoder boundary, FUZZTIME per target.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCDRDecode -fuzztime=$(FUZZTIME) ./internal/cdr
+	$(GO) test -run='^$$' -fuzz=FuzzCanonicalCDR -fuzztime=$(FUZZTIME) ./internal/cdr
 	$(GO) test -run='^$$' -fuzz=FuzzGIOPParse -fuzztime=$(FUZZTIME) ./internal/giop
 	$(GO) test -run='^$$' -fuzz=FuzzSMIOPReassemble -fuzztime=$(FUZZTIME) ./internal/smiop
+	$(GO) test -run='^$$' -fuzz=FuzzReplyDigestDecode -fuzztime=$(FUZZTIME) ./internal/smiop
 	$(GO) test -run='^$$' -fuzz=FuzzSealedOpen -fuzztime=$(FUZZTIME) ./internal/seckey
 	$(GO) test -run='^$$' -fuzz=FuzzPrePrepareDecode -fuzztime=$(FUZZTIME) ./internal/pbft
 

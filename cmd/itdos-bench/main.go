@@ -45,17 +45,29 @@ func run(args []string) error {
 	}
 
 	if *check != "" {
-		switch strings.ToUpper(strings.TrimSpace(*check)) {
-		case "P1":
-			// The ISSUE headline is >= 3x; guard at 3.0.
-			if err := bench.CheckP1(3.0); err != nil {
+		checks := map[string]struct {
+			run func() error
+			ok  string
+		}{
+			"P1": {func() error { return bench.CheckP1(3.0) },
+				"batched k=16 msgs/request >= 3.0x below unbatched"},
+			"P2": {func() error { return bench.CheckP2(3.0) },
+				"digest replies cut bytes/call >= 3.0x at 256 KiB"},
+			"P3": {func() error { return bench.CheckP3(2.0) },
+				"read-only fast path >= 2.0x fewer msgs/get and lower latency"},
+		}
+		for _, id := range strings.Split(*check, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			c, ok := checks[id]
+			if !ok {
+				return fmt.Errorf("unknown check %q (available: P1, P2, P3)", id)
+			}
+			if err := c.run(); err != nil {
 				return err
 			}
-			fmt.Println("check P1: ok (batched k=16 msgs/request >= 3.0x below unbatched)")
-			return nil
-		default:
-			return fmt.Errorf("unknown check %q (available: P1)", *check)
+			fmt.Printf("check %s: ok (%s)\n", id, c.ok)
 		}
+		return nil
 	}
 
 	experiments := bench.All()

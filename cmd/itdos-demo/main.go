@@ -43,6 +43,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed (same seed => identical run)")
 	epsilon := fs.Float64("epsilon", 0, "inexact voting tolerance (0 = exact)")
 	trace := fs.Bool("trace", false, "print the span tree of client 0's first invocation")
+	traceJSON := fs.Bool("trace-json", false, "print the full span forest as itdos-trace/1 JSON")
 	metrics := fs.Bool("metrics", false, "print the metrics registry after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +71,7 @@ func run(args []string) error {
 		clientSpecs[i] = itdos.ClientSpec{Name: fmt.Sprintf("client-%d", i)}
 	}
 	var mreg *itdos.Metrics
-	if *metrics || *trace {
+	if *metrics || *trace || *traceJSON {
 		mreg = itdos.NewMetrics()
 	}
 	sys, err := itdos.NewSystem(itdos.Config{
@@ -100,7 +101,7 @@ func run(args []string) error {
 	defer sys.Close()
 
 	var tracer *itdos.Tracer
-	if *trace {
+	if *trace || *traceJSON {
 		tracer = sys.EnableTracing()
 	}
 
@@ -133,7 +134,7 @@ func run(args []string) error {
 	// Let fault handling settle, then report.
 	sys.Net.Run(3_000_000)
 	fmt.Println("--------------------------------------------------------------------")
-	if tracer != nil {
+	if tracer != nil && *trace {
 		// Client 0's first invocation: a cold call, so the tree shows the
 		// Fig. 3 connection-establishment steps inside the Fig. 2 stack.
 		if root := tracer.FindRoot("invoke"); root != nil {
@@ -143,6 +144,14 @@ func run(args []string) error {
 			}
 			fmt.Println("--------------------------------------------------------------------")
 		}
+	}
+	if tracer != nil && *traceJSON {
+		// The whole span forest as schema-pinned JSON (itdos-trace/1): the
+		// machine-readable sibling of -trace, for trace viewers and CI diffs.
+		if err := tracer.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("--------------------------------------------------------------------")
 	}
 	if *metrics && mreg != nil {
 		fmt.Println("metrics:")

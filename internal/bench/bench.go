@@ -112,6 +112,8 @@ func All() []Experiment {
 		{"A3", "adaptive voting", A3},
 		{"X1", "large-object transfer (extension)", X1},
 		{"P1", "offered load vs amortised ordering cost", P1},
+		{"P2", "digest replies on the large-object workload", P2},
+		{"P3", "read-only fast path vs ordered invocation", P3},
 	}
 }
 

@@ -1,0 +1,122 @@
+package cdr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Canonical CDR re-marshalling (reply-digest support).
+//
+// Heterogeneous replicas legitimately marshal the same values into
+// different byte streams — different endianness, different float bit
+// patterns for NaN, different zero signs — which is exactly why ITDOS
+// votes on unmarshalled values rather than bytes (paper §3.6). A reply
+// digest therefore cannot hash the wire bytes: it must hash a *canonical*
+// re-marshalling of the unmarshalled values so that every replica that
+// would vote "equal" also hashes identically.
+//
+// The canonical form is: big-endian byte order, every NaN collapsed to one
+// quiet-NaN bit pattern, and negative zero collapsed to positive zero
+// (0.0 == -0.0 under exact voting, so their canonical bytes must agree).
+// CDR alignment padding is already deterministic (zero bytes), so no
+// further normalisation is needed.
+
+// CanonicalOrder is the byte order of the canonical form.
+const CanonicalOrder = BigEndian
+
+// Canonical quiet-NaN payloads.
+var (
+	canonicalNaN64 = math.Float64frombits(0x7FF8000000000000)
+	canonicalNaN32 = float32(math.Float32frombits(0x7FC00000))
+)
+
+// canonicalFloat64 collapses NaNs and -0 to their canonical encodings.
+func canonicalFloat64(x float64) float64 {
+	if math.IsNaN(x) {
+		return canonicalNaN64
+	}
+	if x == 0 {
+		return 0 // +0 and -0 compare equal; canonical form is +0
+	}
+	return x
+}
+
+func canonicalFloat32(x float32) float32 {
+	if x != x {
+		return canonicalNaN32
+	}
+	if x == 0 {
+		return 0
+	}
+	return x
+}
+
+// Canonicalize returns v with every float leaf normalised to its canonical
+// representative. Non-float leaves and the tree structure are shared or
+// copied as needed; the input is never modified.
+func Canonicalize(tc *TypeCode, v Value) (Value, error) {
+	if tc == nil {
+		return nil, fmt.Errorf("cdr: canonicalize: nil TypeCode")
+	}
+	switch tc.Kind {
+	case KindFloat:
+		x, ok := v.(float32)
+		if !ok {
+			return nil, typeErr(tc, v)
+		}
+		return canonicalFloat32(x), nil
+	case KindDouble:
+		x, ok := v.(float64)
+		if !ok {
+			return nil, typeErr(tc, v)
+		}
+		return canonicalFloat64(x), nil
+	case KindSequence, KindArray:
+		elems, ok := v.([]Value)
+		if !ok {
+			return nil, typeErr(tc, v)
+		}
+		out := make([]Value, len(elems))
+		for i, el := range elems {
+			cel, err := Canonicalize(tc.Elem, el)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+			out[i] = cel
+		}
+		return out, nil
+	case KindStruct:
+		fields, ok := v.([]Value)
+		if !ok {
+			return nil, typeErr(tc, v)
+		}
+		if len(fields) != len(tc.Members) {
+			return nil, fmt.Errorf("cdr: canonicalize %s: got %d fields, want %d",
+				tc, len(fields), len(tc.Members))
+		}
+		out := make([]Value, len(fields))
+		for i, m := range tc.Members {
+			cf, err := Canonicalize(m.Type, fields[i])
+			if err != nil {
+				return nil, fmt.Errorf("member %s: %w", m.Name, err)
+			}
+			out[i] = cf
+		}
+		return out, nil
+	default:
+		// All other kinds have a single representation per value.
+		return v, nil
+	}
+}
+
+// CanonicalMarshal encodes v in the canonical form: big-endian with
+// normalised float leaves. Two values that compare equal under exact
+// voting produce identical canonical bytes, whatever platform marshalled
+// them originally.
+func CanonicalMarshal(tc *TypeCode, v Value) ([]byte, error) {
+	cv, err := Canonicalize(tc, v)
+	if err != nil {
+		return nil, err
+	}
+	return Marshal(tc, cv, CanonicalOrder)
+}

@@ -1,0 +1,123 @@
+package cdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestCanonicalMarshalCrossOrder(t *testing.T) {
+	// The same value marshalled by heterogeneous platforms (different byte
+	// orders) must re-marshal to identical canonical bytes.
+	tc := StructOf("mix",
+		Member{Name: "d", Type: Double},
+		Member{Name: "s", Type: String},
+		Member{Name: "seq", Type: SequenceOf(Float)},
+	)
+	val := []Value{3.14159, "hetero", []Value{float32(1.5), float32(-2.25)}}
+	var canon [][]byte
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		wire, err := Marshal(tc, val, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := Unmarshal(tc, wire, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := CanonicalMarshal(tc, decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon = append(canon, c)
+	}
+	if !bytes.Equal(canon[0], canon[1]) {
+		t.Fatalf("canonical bytes differ across byte orders:\n%x\n%x", canon[0], canon[1])
+	}
+}
+
+func TestCanonicalFloatNormalisation(t *testing.T) {
+	// Every NaN payload and both zero signs collapse to one canonical
+	// encoding — platform float divergence in *representation* must not
+	// change the digest (divergence in *value* must).
+	nanA := math.Float64frombits(0x7FF8000000000001) // quiet, nonzero payload
+	nanB := math.Float64frombits(0xFFF8DEADBEEF0001) // negative, different payload
+	c1, err := CanonicalMarshal(Double, nanA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CanonicalMarshal(Double, nanB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("NaN payloads not normalised: %x vs %x", c1, c2)
+	}
+	z1, err := CanonicalMarshal(Double, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, err := CanonicalMarshal(Double, math.Copysign(0, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(z1, z2) {
+		t.Fatalf("-0 not normalised: %x vs %x", z1, z2)
+	}
+	// float32 too.
+	f1, err := CanonicalMarshal(Float, float32(math.Float32frombits(0x7FC00001)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := CanonicalMarshal(Float, float32(math.Float32frombits(0xFFC0BEEF)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1, f2) {
+		t.Fatalf("float32 NaN payloads not normalised: %x vs %x", f1, f2)
+	}
+	// Distinct real values must stay distinct.
+	d1, _ := CanonicalMarshal(Double, 1.0)
+	d2, _ := CanonicalMarshal(Double, 1.0000000001)
+	if bytes.Equal(d1, d2) {
+		t.Fatal("distinct values canonicalised to identical bytes")
+	}
+}
+
+func TestCanonicalizeNested(t *testing.T) {
+	// Floats nested under structs, sequences and arrays are all normalised;
+	// the input value tree is not modified.
+	tc := StructOf("outer",
+		Member{Name: "arr", Type: ArrayOf(Double, 2)},
+		Member{Name: "inner", Type: StructOf("inner", Member{Name: "f", Type: Float})},
+	)
+	nan := math.NaN()
+	val := []Value{[]Value{nan, math.Copysign(0, -1)}, []Value{float32(math.NaN())}}
+	got, err := Canonicalize(tc, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := got.([]Value)[0].([]Value)
+	if math.Float64bits(arr[0].(float64)) != 0x7FF8000000000000 {
+		t.Errorf("nested NaN not canonical: %x", math.Float64bits(arr[0].(float64)))
+	}
+	if math.Signbit(arr[1].(float64)) {
+		t.Error("nested -0 kept its sign")
+	}
+	if in := val[0].([]Value); !math.IsNaN(in[0].(float64)) || !math.Signbit(in[1].(float64)) {
+		t.Error("Canonicalize modified its input")
+	}
+}
+
+func TestCanonicalizeErrors(t *testing.T) {
+	if _, err := Canonicalize(nil, 1.0); err == nil {
+		t.Error("nil TypeCode accepted")
+	}
+	if _, err := Canonicalize(Double, "not a float"); err == nil {
+		t.Error("mistyped leaf accepted")
+	}
+	tc := StructOf("s", Member{Name: "a", Type: Double})
+	if _, err := Canonicalize(tc, []Value{1.0, 2.0}); err == nil {
+		t.Error("field-count mismatch accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+
+	"itdos/internal/cdr"
+)
+
+func TestRequestFlagsRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ re, dig, ro bool }{
+		{false, false, false}, {true, false, false}, {true, true, false},
+		{true, false, true}, {true, true, true}, {false, true, true},
+	} {
+		req := &Request{
+			RequestID: 5, ObjectKey: "k", Interface: "IDL:I:1.0", Operation: "op",
+			ResponseExpected: tc.re, DigestOK: tc.dig, ReadOnly: tc.ro,
+		}
+		msg, err := Decode(EncodeRequest(cdr.BigEndian, req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := msg.Request
+		if got.ResponseExpected != tc.re || got.DigestOK != tc.dig || got.ReadOnly != tc.ro {
+			t.Fatalf("flags %+v round-tripped as RE=%v DigestOK=%v ReadOnly=%v",
+				tc, got.ResponseExpected, got.DigestOK, got.ReadOnly)
+		}
+	}
+}
+
+// TestFlagOctetBackwardCompatible pins the wire discipline the fast paths
+// rely on: the new flags live in the octet that legacy encoders wrote as
+// exactly 0 or 1 for response_expected, so with both flags clear the
+// encoding is byte-identical to the legacy stream, and setting a flag
+// changes exactly that one octet.
+func TestFlagOctetBackwardCompatible(t *testing.T) {
+	base := &Request{
+		RequestID: 9, ObjectKey: "k", Interface: "IDL:I:1.0", Operation: "op",
+		ResponseExpected: true, Body: []byte{1, 2, 3},
+	}
+	plain := EncodeRequest(cdr.LittleEndian, base)
+
+	flagged := *base
+	flagged.DigestOK = true
+	dig := EncodeRequest(cdr.LittleEndian, &flagged)
+	if len(dig) != len(plain) {
+		t.Fatalf("flag changed message length: %d vs %d", len(dig), len(plain))
+	}
+	diff := -1
+	for i := range plain {
+		if plain[i] != dig[i] {
+			if diff != -1 {
+				t.Fatalf("flag changed more than one octet: %d and %d", diff, i)
+			}
+			diff = i
+		}
+	}
+	if diff == -1 {
+		t.Fatal("DigestOK flag not encoded")
+	}
+	if plain[diff] != flagResponseExpected || dig[diff] != flagResponseExpected|flagDigestOK {
+		t.Fatalf("flag octet %#x -> %#x, want %#x -> %#x",
+			plain[diff], dig[diff], flagResponseExpected, flagResponseExpected|flagDigestOK)
+	}
+
+	ro := *base
+	ro.ReadOnly = true
+	roBuf := EncodeRequest(cdr.LittleEndian, &ro)
+	if roBuf[diff] != flagResponseExpected|flagReadOnly {
+		t.Fatalf("ReadOnly octet = %#x, want %#x", roBuf[diff], flagResponseExpected|flagReadOnly)
+	}
+	if !bytes.Equal(append(append([]byte{}, roBuf[:diff]...), roBuf[diff+1:]...),
+		append(append([]byte{}, plain[:diff]...), plain[diff+1:]...)) {
+		t.Fatal("ReadOnly changed octets beyond the flag octet")
+	}
+}

@@ -101,9 +101,52 @@ type Request struct {
 	// ResponseExpected is false for oneway operations.
 	ResponseExpected bool
 
+	// DigestOK marks a request whose sender accepts digest replies: the
+	// designated responder returns the full reply, every other replica a
+	// canonical-form digest (Castro–Liskov digest replies re-derived for
+	// heterogeneous replicas). Carried in bit 1 of the response-flags octet,
+	// which legacy encoders always wrote as 0 or 1 — so requests without the
+	// flag are byte-identical to the pre-digest wire form.
+	DigestOK bool
+
+	// ReadOnly marks an invocation the client may multicast directly,
+	// bypassing the ordering protocol (Castro–Liskov read-only
+	// optimisation). Carried in bit 2 of the response-flags octet.
+	ReadOnly bool
+
 	// Body is the CDR-encoded input parameter list, marshalled in the byte
 	// order of the enclosing message.
 	Body []byte
+}
+
+// Request flag bits inside the response-flags octet. Bit 0 is the GIOP
+// response_expected boolean; the upper bits are ITDOS extensions that
+// legacy streams never set.
+const (
+	flagResponseExpected = 1 << 0
+	flagDigestOK         = 1 << 1
+	flagReadOnly         = 1 << 2
+)
+
+// flags packs the request's flag bits into the response-flags octet.
+func (r *Request) flags() byte {
+	var b byte
+	if r.ResponseExpected {
+		b |= flagResponseExpected
+	}
+	if r.DigestOK {
+		b |= flagDigestOK
+	}
+	if r.ReadOnly {
+		b |= flagReadOnly
+	}
+	return b
+}
+
+func (r *Request) setFlags(b byte) {
+	r.ResponseExpected = b&flagResponseExpected != 0
+	r.DigestOK = b&flagDigestOK != 0
+	r.ReadOnly = b&flagReadOnly != 0
 }
 
 // Reply is a GIOP Reply with ITDOS extensions.
@@ -167,7 +210,11 @@ func EncodeRequest(order cdr.ByteOrder, r *Request) []byte {
 	e.WriteString(r.ObjectKey)
 	e.WriteString(r.Interface)
 	e.WriteString(r.Operation)
-	e.WriteBoolean(r.ResponseExpected)
+	// The response-flags octet: bit 0 is response_expected (a plain CDR
+	// boolean for legacy requests), bits 1-2 the ITDOS digest/read-only
+	// extensions. A request without extensions encodes exactly as the old
+	// WriteBoolean did.
+	e.WriteOctet(r.flags())
 	e.WriteOctets(r.Body)
 	body := e.Bytes()
 	return append(encodeHeader(order, MsgRequest, len(body)), body...)
@@ -266,9 +313,11 @@ func decodeRequest(d *cdr.Decoder) (*Request, error) {
 	if r.Operation, err = d.ReadString(); err != nil {
 		return nil, err
 	}
-	if r.ResponseExpected, err = d.ReadBoolean(); err != nil {
+	flags, err := d.ReadOctet()
+	if err != nil {
 		return nil, err
 	}
+	r.setFlags(flags)
 	body, err := d.ReadOctets()
 	if err != nil {
 		return nil, err

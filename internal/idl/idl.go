@@ -28,6 +28,13 @@ type Operation struct {
 	Name    string
 	Params  []Param
 	Results []Param
+
+	// ReadOnly declares that the operation does not modify object state, so
+	// a client may invoke it over the unordered read-only fast path
+	// (Castro–Liskov read-only optimisation). Equivalent to CORBA's
+	// readonly attribute accessors. Misdeclaring a mutating operation
+	// read-only forfeits linearizability for that operation.
+	ReadOnly bool
 }
 
 // paramsTC builds a synthetic struct TypeCode covering a parameter list so
@@ -75,6 +82,12 @@ func (it *Interface) Define(op *Operation) *Interface {
 // the interface for chaining.
 func (it *Interface) Op(name string, params, results []Param) *Interface {
 	return it.Define(&Operation{Name: name, Params: params, Results: results})
+}
+
+// OpReadOnly adds a read-only operation (see Operation.ReadOnly) and
+// returns the interface for chaining.
+func (it *Interface) OpReadOnly(name string, params, results []Param) *Interface {
+	return it.Define(&Operation{Name: name, Params: params, Results: results, ReadOnly: true})
 }
 
 // Operation looks up an operation by name.

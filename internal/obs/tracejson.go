@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// TraceSchemaVersion identifies the TRACE_*.json layout. Bump it whenever a
+// field is added, removed or re-interpreted so downstream consumers (trace
+// viewers, CI artifact diffing) can reject files they don't understand.
+const TraceSchemaVersion = "itdos-trace/1"
+
+// SpanJSON is the machine-readable form of one span. Times are virtual
+// microseconds since simulation start; an open span (never ended) reports
+// open=true and omits its duration.
+type SpanJSON struct {
+	Name       string     `json:"name"`
+	Attrs      []string   `json:"attrs,omitempty"`
+	BeginUS    int64      `json:"begin_us"`
+	DurationUS int64      `json:"duration_us,omitempty"`
+	Open       bool       `json:"open,omitempty"`
+	Children   []SpanJSON `json:"children,omitempty"`
+}
+
+// TraceJSON is the machine-readable form of a whole trace: every root span
+// tree in start order under a schema tag.
+type TraceJSON struct {
+	Schema string     `json:"schema"`
+	Roots  []SpanJSON `json:"roots"`
+}
+
+// JSON returns the span subtree's machine-readable form.
+func (s *Span) JSON() SpanJSON {
+	out := SpanJSON{
+		Name:    s.Name,
+		Attrs:   s.Attrs,
+		BeginUS: int64(s.Begin / time.Microsecond),
+	}
+	if s.ended {
+		out.DurationUS = int64((s.Finish - s.Begin) / time.Microsecond)
+	} else {
+		out.Open = true
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}
+
+// JSON returns the tracer's machine-readable form (empty roots on a nil
+// tracer, matching Dump's behaviour).
+func (t *Tracer) JSON() TraceJSON {
+	out := TraceJSON{Schema: TraceSchemaVersion, Roots: []SpanJSON{}}
+	if t == nil {
+		return out
+	}
+	for _, s := range t.roots {
+		out.Roots = append(out.Roots, s.JSON())
+	}
+	return out
+}
+
+// WriteJSON writes the whole trace as indented JSON, trailing newline
+// included — the machine-readable sibling of Dump.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.JSON())
+}
+
+// WriteJSON writes the span subtree as one schema-tagged trace.
+func (s *Span) WriteJSON(w io.Writer) error {
+	if s == nil {
+		return (*Tracer)(nil).WriteJSON(w)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(TraceJSON{Schema: TraceSchemaVersion, Roots: []SpanJSON{s.JSON()}})
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildGoldenTrace records a small deterministic trace: a two-level invoke
+// tree with attributes, a sibling root, and a span left open.
+func buildGoldenTrace() *Tracer {
+	clk := &fakeClock{}
+	tr := NewTracer(clk)
+	inv := tr.Start("invoke", "op=inc", "domain=counter")
+	clk.now = 500 * time.Microsecond
+	seal := tr.Start("smiop.seal")
+	clk.now = 1500 * time.Microsecond
+	seal.End()
+	order := tr.Start("srm.order", "group=counter")
+	clk.now = 4 * time.Millisecond
+	order.End()
+	clk.now = 5 * time.Millisecond
+	inv.End()
+	tr.Start("gm.rekey", "era=2") // left open
+	clk.now = 6 * time.Millisecond
+	return tr
+}
+
+// TestTraceJSONGolden pins the itdos-trace/1 schema byte-for-byte: any
+// field rename, reorder or re-interpretation shows up as a golden diff and
+// must come with a schema bump. Regenerate with -update.
+func TestTraceJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/obs -run TraceJSONGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON drifted from golden (schema %s):\ngot:\n%s\nwant:\n%s",
+			TraceSchemaVersion, buf.Bytes(), want)
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got TraceJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != TraceSchemaVersion {
+		t.Fatalf("schema = %q, want %q", got.Schema, TraceSchemaVersion)
+	}
+	if len(got.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(got.Roots))
+	}
+	inv := got.Roots[0]
+	if inv.Name != "invoke" || len(inv.Children) != 2 || inv.Open {
+		t.Fatalf("invoke root: %+v", inv)
+	}
+	if inv.DurationUS != 5000 || inv.Children[0].BeginUS != 500 {
+		t.Fatalf("times: dur=%d child-begin=%d", inv.DurationUS, inv.Children[0].BeginUS)
+	}
+	open := got.Roots[1]
+	if !open.Open || open.DurationUS != 0 {
+		t.Fatalf("open span not marked open: %+v", open)
+	}
+	// Nil tracer and nil span still emit valid, schema-tagged documents.
+	buf.Reset()
+	if err := (*Tracer)(nil).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var empty TraceJSON
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Schema != TraceSchemaVersion || len(empty.Roots) != 0 {
+		t.Fatalf("nil tracer JSON: %+v", empty)
+	}
+	buf.Reset()
+	if err := (*Span)(nil).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil {
+		t.Fatal(err)
+	}
+}

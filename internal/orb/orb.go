@@ -276,7 +276,11 @@ func (c *Client) Call(ref ObjectRef, op string, args []cdr.Value) (results []cdr
 		Interface:        ref.Interface,
 		Operation:        op,
 		ResponseExpected: true,
-		Body:             body,
+		// The protocol decides whether to honour the read-only fast path;
+		// the transport clears the flag when the feature is disabled so
+		// legacy wire streams stay byte-identical.
+		ReadOnly: opDef.ReadOnly,
+		Body:     body,
 	}
 	reply, order, err := c.protocol.Invoke(ref, req)
 	if err != nil {

@@ -209,6 +209,7 @@ type Replica struct {
 	mStateTransfers *obs.Counter
 	mBatches        *obs.Counter
 	mBatchedReqs    *obs.Counter
+	mReadOnlyBypass *obs.Counter
 	hBatchSize      *obs.Histogram
 	gBacklog        *obs.Gauge
 }
@@ -244,6 +245,7 @@ func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
 		r.mStateTransfers = m.Counter("pbft_state_transfers_total", label)
 		r.mBatches = m.Counter("pbft_batches_total", label)
 		r.mBatchedReqs = m.Counter("pbft_batched_requests_total", label)
+		r.mReadOnlyBypass = m.Counter("pbft_readonly_bypass_total", label)
 		r.hBatchSize = m.Histogram("pbft_batch_size",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}, label)
 		r.gBacklog = m.Gauge("pbft_primary_backlog", label)
@@ -256,6 +258,12 @@ func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
 
 // ID returns the replica's index.
 func (r *Replica) ID() ReplicaID { return r.cfg.ID }
+
+// NoteReadOnlyBypass records that a read-only invocation was served
+// directly, without entering the three-phase ordering protocol
+// (Castro–Liskov read-only optimisation). The request never reaches the
+// replica, so the upper layer reports the bypass for observability.
+func (r *Replica) NoteReadOnlyBypass() { r.mReadOnlyBypass.Inc() }
 
 // View returns the current view number.
 func (r *Replica) View() uint64 { return r.view }

@@ -99,7 +99,9 @@ func (c *Client) onInbox(payload []byte) {
 		return
 	}
 	switch env.Kind {
-	case smiop.KindData:
+	case smiop.KindData, smiop.KindDigest:
+		// Digest envelopes take the same delivery path as data replies; the
+		// stream routes them into the digest vote.
 		c.handleData(env)
 	case smiop.KindKeyShare:
 		bundle, err := smiop.DecodeShareBundle(env.Payload)

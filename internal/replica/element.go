@@ -37,6 +37,9 @@ type Element struct {
 	Delivered uint64
 	// Upcalls counts voted requests dispatched to servants.
 	Upcalls uint64
+	// ReadOnlyUpcalls counts read-only fast-path requests served off the
+	// direct channel (never mixed into Upcalls: they are unordered).
+	ReadOnlyUpcalls uint64
 }
 
 func newElement(sys *System, dr *DomainRuntime, member int, profile Profile) (*Element, error) {
@@ -53,6 +56,10 @@ func newElement(sys *System, dr *DomainRuntime, member int, profile Profile) (*E
 	el.srmEl.OnDeliver = el.onDeliver
 	el.srmEl.OnDesync = func(gapStart, gapEnd uint64) { el.Desynced = true }
 	el.setHeldGauge() // register the series at zero, not on first stall
+	// Direct (unordered) receive address for the read-only fast path. The
+	// node exists even with the feature off; the handler gates on config.
+	sys.Net.AddNode(netsim.NodeID(elementInboxAddr(dr.Spec.Name, member)),
+		netsim.HandlerFunc(func(_ netsim.NodeID, payload []byte) { el.onDirectInbox(payload) }))
 	return el, nil
 }
 
@@ -177,9 +184,129 @@ func (el *Element) serve(cs *connState, val *smiop.MessageVal) {
 		return
 	}
 	giopBytes := giop.EncodeReply(el.profile.Order, reply)
+	// Always cache the FULL reply: retries and digest fallbacks are
+	// answered with full replies regardless of how this copy went out.
 	cs.cachedReplyID = req.RequestID
 	cs.cachedReplyGIOP = giopBytes
+	if el.sys.cfg.DigestReplies && req.DigestOK && cs.peer.N == 1 {
+		responder := smiop.DesignatedResponder(req.RequestID, el.local.N, cs.conn.LocalExpelled)
+		if el.member != responder && el.sendDigestReply(cs, req.RequestID, val, reply) {
+			return
+		}
+		// Designated responder — or digest computation failed: send full.
+	}
 	el.sendReply(cs, req.RequestID, giopBytes)
+}
+
+// sendDigestReply sends the canonical digest of reply directly to the
+// singleton client instead of the full GIOP bytes. Returns false when the
+// digest could not be built (the caller falls back to a full reply).
+func (el *Element) sendDigestReply(cs *connState, requestID uint64,
+	val *smiop.MessageVal, reply *giop.Reply) bool {
+
+	// Digest the same (status, exception, values) tuple the client-side
+	// voter compares: results are unmarshalled for non-exception replies,
+	// void otherwise.
+	tc := cdr.Void
+	var body cdr.Value
+	if reply.Status == giop.StatusNoException {
+		op, err := el.sys.registry.Lookup(val.Interface, val.Operation)
+		if err != nil {
+			return false
+		}
+		tc = op.ResultsType()
+		body, err = cdr.Unmarshal(tc, reply.Body, el.profile.Order)
+		if err != nil {
+			return false
+		}
+	}
+	digest, err := smiop.CanonicalReplyDigest(val.Interface, val.Operation,
+		reply.Status, reply.Exception, tc, body)
+	if err != nil {
+		return false
+	}
+	env, err := cs.conn.SealSignedDigest(requestID, digest, el.sign)
+	if err != nil {
+		return false
+	}
+	el.sys.cfg.Metrics.Counter("element_digest_replies_total", "domain="+el.local.Name).Inc()
+	el.sys.Net.Send(netsim.NodeID(el.identity),
+		netsim.NodeID(clientInboxAddr(cs.peer.Name)), env.Encode())
+	return true
+}
+
+// onDirectInbox handles a read-only fast-path request arriving on the
+// direct (unordered) channel — driver thread. Anything malformed, unkeyed,
+// or not eligible is silently dropped: the client's fallback timer turns a
+// dropped direct request into an ordered retry, so dropping is always safe.
+func (el *Element) onDirectInbox(payload []byte) {
+	if !el.sys.cfg.ReadOnlyFastPath || el.Desynced {
+		return
+	}
+	env, err := smiop.DecodeEnvelope(payload)
+	if err != nil || env.Kind != smiop.KindData || env.Reply || env.FragCount > 1 {
+		return
+	}
+	cs, ok := el.conns[env.ConnID]
+	if !ok || cs.peer.N != 1 {
+		// The direct request outran the ordered key-share delivery, or the
+		// peer is not a singleton client edge.
+		return
+	}
+	plaintext, err := cs.conn.OpenData(env)
+	if err != nil {
+		return
+	}
+	sp, err := smiop.DecodeSignedPayload(plaintext)
+	if err != nil {
+		return
+	}
+	if verify := el.sys.verifyData(); verify != nil {
+		signing := smiop.DataSigningBytes(env.ConnID, env.RequestID, env.SrcDomain,
+			env.SrcMember, env.Reply, sp.GIOP)
+		if !verify(env.SrcDomain, env.SrcMember, signing, sp.Sig) {
+			return
+		}
+	}
+	msg, err := giop.Decode(sp.GIOP)
+	if err != nil || msg.Request == nil || !msg.Request.ReadOnly {
+		return
+	}
+	req := msg.Request
+	// Defence in depth: the registry, not the sender, decides what is
+	// read-only. A flagged mutating operation never bypasses ordering.
+	op, err := el.sys.registry.Lookup(req.Interface, req.Operation)
+	if err != nil || !op.ReadOnly {
+		return
+	}
+	el.srmEl.Replica.NoteReadOnlyBypass()
+	el.ReadOnlyUpcalls++
+	el.sys.cfg.Metrics.Counter("element_readonly_upcalls_total", "domain="+el.local.Name).Inc()
+	el.schedule(func() { el.serveReadOnly(cs, req, msg.Order) })
+}
+
+// serveReadOnly dispatches a read-only request on the ORB thread and sends
+// the reply directly to the client. It never touches the reply cache: the
+// at-most-once machinery belongs to the ordered path, and re-executing a
+// read-only operation is harmless by definition.
+func (el *Element) serveReadOnly(cs *connState, req *giop.Request, order cdr.ByteOrder) {
+	usp := el.tracer().Start("orb.upcall",
+		"op="+req.Interface+"."+req.Operation, "element="+el.identity, "readonly=1")
+	defer usp.End()
+	reply := el.Adapter.Dispatch(req, order, el.caller, el.profile.Order)
+	giopBytes := giop.EncodeReply(el.profile.Order, reply)
+	envs, err := cs.conn.SealSignedDataFragmented(req.RequestID, true, giopBytes, el.sign,
+		el.sys.cfg.FragmentSize)
+	if err != nil {
+		return
+	}
+	if len(envs) > 1 {
+		el.mFragsOut.Add(uint64(len(envs)))
+	}
+	for _, env := range envs {
+		el.sys.Net.Send(netsim.NodeID(el.identity),
+			netsim.NodeID(clientInboxAddr(cs.peer.Name)), env.Encode())
+	}
 }
 
 // sendReply seals a reply under the connection's current key (fragmenting

@@ -6,6 +6,7 @@ import (
 	"itdos/internal/cdr"
 	"itdos/internal/dprf"
 	"itdos/internal/giop"
+	"itdos/internal/netsim"
 	"itdos/internal/obs"
 	"itdos/internal/orb"
 	"itdos/internal/seckey"
@@ -42,6 +43,11 @@ type callFailure struct {
 	// invocation path retries such calls once under the new key.
 	rekeyed bool
 }
+
+// fallbackSignal resumes a parked call whose fast-path vote (digest or
+// read-only) stalled or timed out; the invocation falls back to the
+// ordered full-reply path.
+type fallbackSignal struct{}
 
 // connState is one endpoint's view of a live connection plus its inbound
 // voting stream.
@@ -121,6 +127,11 @@ type endpoint struct {
 	mConnHits   *obs.Counter
 	mConnMisses *obs.Counter
 	mFragsOut   *obs.Counter
+
+	// Reply fast-path counters.
+	mDigestCalls    *obs.Counter
+	mReadOnlyCalls  *obs.Counter
+	mReadOnlyAborts *obs.Counter
 }
 
 func (ep *endpoint) init(sys *System, identity string, local smiop.PeerInfo, member int, profile Profile) {
@@ -140,6 +151,9 @@ func (ep *endpoint) init(sys *System, identity string, local smiop.PeerInfo, mem
 		ep.mConnHits = r.Counter("conn_cache_hits_total")
 		ep.mConnMisses = r.Counter("conn_cache_misses_total")
 		ep.mFragsOut = r.Counter("smiop_fragments_total", "dir=out")
+		ep.mDigestCalls = r.Counter("digest_replies_armed_total")
+		ep.mReadOnlyCalls = r.Counter("readonly_fastpath_total")
+		ep.mReadOnlyAborts = r.Counter("readonly_fastpath_aborts_total")
 	}
 }
 
@@ -229,44 +243,178 @@ func (ep *endpoint) invokeOnce(ref orb.ObjectRef, req *giop.Request, retry bool)
 	if err != nil {
 		return nil, 0, err
 	}
-	var reqID uint64
+	// Fast-path eligibility: the Castro-Liskov reply optimisations apply
+	// only on the client edge — a singleton caller invoking a replicated
+	// domain, on the first attempt. A rekey retry always takes the ordered
+	// full-reply path (cached replies are full replies).
+	fastEligible := !retry && ep.local.N == 1 && cs.peer.N > 1
+	readOnlyMode := fastEligible && ep.sys.cfg.ReadOnlyFastPath && req.ReadOnly
+	digestMode := fastEligible && ep.sys.cfg.DigestReplies && !readOnlyMode
+	// Clear the extension flags unless this invocation takes the matching
+	// path: with the features off every request stays byte-identical to
+	// the legacy wire form.
+	req.ReadOnly = readOnlyMode
+	req.DigestOK = digestMode
+
 	if retry {
-		reqID = cs.conn.CurrentRequestID()
+		reqID := cs.conn.CurrentRequestID()
 		req.RequestID = reqID
 		if err := cs.stream.RetryReply(reqID, ref.Interface, req.Operation); err != nil {
 			return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
 		}
-	} else {
-		reqID = cs.conn.NextRequestID()
-		req.RequestID = reqID
+		if err := ep.sendOrderedRequest(cs, ref.Domain, req); err != nil {
+			return nil, 0, err
+		}
+		return ep.awaitReply(cs, ref, req, false, false)
+	}
+
+	reqID := cs.conn.NextRequestID()
+	req.RequestID = reqID
+	var directEnv *smiop.Envelope
+	if readOnlyMode {
+		// The direct path delivers whole envelopes only (no reassembly
+		// across an unordered channel): a request too large for one
+		// envelope aborts to the ordered path before anything is sent.
+		giopBytes := giop.EncodeRequest(ep.profile.Order, req)
+		envs, err := cs.conn.SealSignedDataFragmented(reqID, false, giopBytes, ep.sign,
+			ep.sys.cfg.FragmentSize)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(envs) == 1 {
+			directEnv = envs[0]
+		} else {
+			ep.mReadOnlyAborts.Inc()
+			readOnlyMode = false
+			req.ReadOnly = false
+			digestMode = fastEligible && ep.sys.cfg.DigestReplies
+			req.DigestOK = digestMode
+		}
+	}
+	switch {
+	case readOnlyMode:
+		if err := cs.stream.ExpectReadOnlyReply(reqID, ref.Interface, req.Operation); err != nil {
+			return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
+		}
+		ep.mReadOnlyCalls.Inc()
+		payload := directEnv.Encode()
+		rsp := ep.tracer().Start("smiop.direct", fmt.Sprintf("req=%d", reqID))
+		for m := 0; m < cs.peer.N; m++ {
+			ep.sys.Net.Send(netsim.NodeID(ep.identity),
+				netsim.NodeID(elementInboxAddr(cs.peer.Name, m)), payload)
+		}
+		rsp.End()
+	case digestMode:
+		responder := smiop.DesignatedResponder(reqID, cs.peer.N, func(m int) bool {
+			return cs.conn.Expelled(uint32(m))
+		})
+		if err := cs.stream.ExpectDigestReply(reqID, ref.Interface, req.Operation, responder); err != nil {
+			return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
+		}
+		ep.mDigestCalls.Inc()
+		if err := ep.sendOrderedRequest(cs, ref.Domain, req); err != nil {
+			return nil, 0, err
+		}
+	default:
 		if err := cs.stream.ExpectReply(reqID, ref.Interface, req.Operation); err != nil {
 			return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
 		}
+		if err := ep.sendOrderedRequest(cs, ref.Domain, req); err != nil {
+			return nil, 0, err
+		}
 	}
+	return ep.awaitReply(cs, ref, req, readOnlyMode, digestMode)
+}
+
+// sendOrderedRequest encodes, seals, and multicasts req into the peer's
+// ordering group.
+func (ep *endpoint) sendOrderedRequest(cs *connState, target string, req *giop.Request) error {
 	giopBytes := giop.EncodeRequest(ep.profile.Order, req)
-	ssp := ep.tracer().Start("smiop.seal", fmt.Sprintf("req=%d", reqID))
-	envs, err := cs.conn.SealSignedDataFragmented(reqID, false, giopBytes, ep.sign,
+	ssp := ep.tracer().Start("smiop.seal", fmt.Sprintf("req=%d", req.RequestID))
+	envs, err := cs.conn.SealSignedDataFragmented(req.RequestID, false, giopBytes, ep.sign,
 		ep.sys.cfg.FragmentSize)
 	ssp.End()
 	if err != nil {
-		return nil, 0, err
+		return err
 	}
 	if len(envs) > 1 {
 		ep.mFragsOut.Add(uint64(len(envs)))
 	}
 	for _, env := range envs {
-		ep.sendOrdered(ref.Domain, env.Encode())
+		ep.sendOrdered(target, env.Encode())
 	}
-	switch res := ep.parkWait(&waitState{kind: waitReply, connID: cs.conn.ID, reqID: reqID}).(type) {
-	case *smiop.MessageVal:
-		return res.Msg.Reply, res.Msg.Order, nil
-	case callFailure:
-		if res.rekeyed {
-			return nil, 0, &rekeyError{msg: res.err.Error()}
+	return nil
+}
+
+// awaitReply parks the ORB thread for the voted reply. A fast-path vote
+// (digest or read-only) that stalls or times out falls back to the ordered
+// full-reply path and parks again; the fallback preserves correctness —
+// only the optimisation is abandoned.
+func (ep *endpoint) awaitReply(cs *connState, ref orb.ObjectRef, req *giop.Request,
+	readOnlyMode, digestMode bool) (*giop.Reply, cdr.ByteOrder, error) {
+
+	for {
+		var timer netsim.Timer
+		if readOnlyMode || digestMode {
+			// Fast-path liveness: a silent designated responder (digest
+			// mode) or dropped direct requests (read-only mode) never trip
+			// the voter's stall detection, so a virtual-time timeout forces
+			// the fallback.
+			id := req.RequestID
+			timer = ep.sys.Net.After(ep.sys.cfg.SendTimeout, func() {
+				if w := ep.waiting; w != nil && w.kind == waitReply &&
+					w.connID == cs.conn.ID && w.reqID == id {
+					ep.resume(fallbackSignal{})
+				}
+			})
 		}
-		return nil, 0, res.err
-	default:
-		return nil, 0, fmt.Errorf("replica: %s: unexpected resume %T", ep.identity, res)
+		res := ep.parkWait(&waitState{kind: waitReply, connID: cs.conn.ID, reqID: req.RequestID})
+		timer.Stop()
+		switch res := res.(type) {
+		case *smiop.MessageVal:
+			return res.Msg.Reply, res.Msg.Order, nil
+		case fallbackSignal:
+			cs.stream.NoteFallback() // idempotent when the stream fired it
+			switch {
+			case readOnlyMode:
+				// The 2f+1 unordered quorum failed. Fall back to the
+				// ordered path under a NEW request id so stale fast-path
+				// replies are discarded by id mismatch; re-executing a
+				// read-only operation is harmless by definition.
+				readOnlyMode = false
+				req.ReadOnly, req.DigestOK = false, false
+				req.RequestID = cs.conn.NextRequestID()
+				if err := cs.stream.ExpectReply(req.RequestID, ref.Interface, req.Operation); err != nil {
+					return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
+				}
+				if err := ep.sendOrderedRequest(cs, ref.Domain, req); err != nil {
+					return nil, 0, err
+				}
+			case digestMode:
+				// The digest vote stalled (lying responder, canonical
+				// divergence, silent responder): re-request full replies
+				// under the SAME id — elements answer from their reply
+				// caches, preserving at-most-once execution.
+				digestMode = false
+				req.DigestOK = false
+				if err := cs.stream.RetryReply(req.RequestID, ref.Interface, req.Operation); err != nil {
+					return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
+				}
+				if err := ep.sendOrderedRequest(cs, ref.Domain, req); err != nil {
+					return nil, 0, err
+				}
+			default:
+				// A stalled full vote has no further fallback: keep
+				// waiting, matching legacy stall semantics.
+			}
+		case callFailure:
+			if res.rekeyed {
+				return nil, 0, &rekeyError{msg: res.err.Error()}
+			}
+			return nil, 0, res.err
+		default:
+			return nil, 0, fmt.Errorf("replica: %s: unexpected resume %T", ep.identity, res)
+		}
 	}
 }
 
@@ -547,13 +695,20 @@ func (ep *endpoint) installConn(b *smiop.ShareBundle, peer smiop.PeerInfo, initi
 		fmt.Sprintf("conn=%d", b.ConnID), fmt.Sprintf("era=%d", b.Era))
 	defer isp.End()
 
-	expelledPeer := b.ExpelledTarget
+	expelledPeer, expelledLocal := b.ExpelledTarget, b.ExpelledInitiator
 	if !initiator {
-		expelledPeer = b.ExpelledInitiator
+		expelledPeer, expelledLocal = b.ExpelledInitiator, b.ExpelledTarget
 	}
 	exp := make([]int, 0, len(expelledPeer))
 	for _, m := range expelledPeer {
 		exp = append(exp, int(m))
+	}
+	// Both sides also track the local domain's expulsions so the designated
+	// responder rotation (digest replies) converges to the same member on
+	// the client and on every element.
+	expLocal := make([]int, 0, len(expelledLocal))
+	for _, m := range expelledLocal {
+		expLocal = append(expLocal, int(m))
 	}
 
 	if cs, ok := ep.conns[b.ConnID]; ok {
@@ -561,6 +716,7 @@ func (ep *endpoint) installConn(b *smiop.ShareBundle, peer smiop.PeerInfo, initi
 		// call on this connection can no longer complete (its reply may be
 		// sealed under the dead key): fail it so the application can retry.
 		cs.conn.Rekey(b.Era, key, exp)
+		cs.conn.ExpelLocal(expLocal)
 		if w := ep.waiting; w != nil && w.kind == waitReply && w.connID == b.ConnID {
 			ep.resume(callFailure{
 				err: fmt.Errorf("replica: %s: connection %d rekeyed (era %d) during call",
@@ -578,6 +734,7 @@ func (ep *endpoint) installConn(b *smiop.ShareBundle, peer smiop.PeerInfo, initi
 	if b.Era > 0 {
 		// Established mid-history: jump straight to the announced era.
 		conn.Rekey(b.Era, key, exp)
+		conn.ExpelLocal(expLocal)
 	}
 	stream, err := smiop.NewStream(conn, smiop.StreamConfig{
 		Registry:    ep.sys.registry,
@@ -598,6 +755,16 @@ func (ep *endpoint) installConn(b *smiop.ShareBundle, peer smiop.PeerInfo, initi
 	}
 	stream.OnFault = func(member int, report vote.FaultReport) {
 		ep.onFault(cs, report)
+	}
+	if ep.sys.cfg.DigestReplies || ep.sys.cfg.ReadOnlyFastPath {
+		// Only wired when a fast path can be armed: with the features off,
+		// stalled full votes keep the legacy park-forever semantics.
+		stream.OnFallback = func(requestID uint64) {
+			if w := ep.waiting; w != nil && w.kind == waitReply &&
+				w.connID == cs.conn.ID && w.reqID == requestID {
+				ep.resume(fallbackSignal{})
+			}
+		}
 	}
 	if ep.onPostDecision != nil {
 		stream.OnPostDecision = func(env *smiop.Envelope, _ *smiop.MessageVal) {

@@ -1,9 +1,11 @@
 package replica
 
 import (
+	"strings"
 	"testing"
 
 	"itdos/internal/cdr"
+	"itdos/internal/giop"
 	"itdos/internal/idl"
 	"itdos/internal/netsim"
 	"itdos/internal/orb"
@@ -82,5 +84,101 @@ func TestAtMostOnceAcrossRekey(t *testing.T) {
 			}
 		}
 		_ = sys.Close()
+	}
+}
+
+// TestCachedReplyRetransmissionFragmented: a retried request (same id)
+// whose cached reply is larger than the fragment size must be answered
+// from the reply cache as a full fragmented retransmission — without
+// re-executing the servant — and the client must reassemble and decide
+// even when one element's retransmitted fragments are lost.
+func TestCachedReplyRetransmissionFragmented(t *testing.T) {
+	const blobSize = 20 << 10 // X1-sized reply through 4 KiB fragments
+	reg := idl.NewRegistry()
+	reg.Register(idl.NewInterface(ctrIface).
+		Op("fetch",
+			[]idl.Param{{Name: "size", Type: cdr.Long}},
+			[]idl.Param{{Name: "blob", Type: cdr.String}}))
+	executions := make([]int, 4)
+	sys, err := NewSystem(SystemConfig{
+		Seed:         21,
+		Latency:      netsim.UniformLatency(time.Millisecond, 2*time.Millisecond),
+		Registry:     reg,
+		FragmentSize: 4 << 10,
+		Domains: []DomainSpec{{
+			Name: "ctr", N: 4, F: 1,
+			Profiles: []Profile{SolarisLike, LinuxLike, SolarisLike, LinuxLike},
+			Setup: func(member int, a *orb.Adapter) error {
+				return a.Register("ctr", ctrIface, orb.ServantFunc(
+					func(_ *orb.CallContext, _ string, args []cdr.Value) ([]cdr.Value, error) {
+						executions[member]++
+						n := int(args[0].(int32))
+						return []cdr.Value{strings.Repeat("payload-", n/8+1)[:n]}, nil
+					}))
+			},
+		}},
+		Clients: []ClientSpec{{Name: "alice"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ref := orb.ObjectRef{Domain: "ctr", ObjectKey: "ctr", Interface: ctrIface}
+	alice := sys.Client("alice")
+	res, err := alice.CallAndRun(ref, "fetch", []cdr.Value{int32(blobSize)}, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := res[0].(string)
+	if len(blob) != blobSize {
+		t.Fatalf("fetched %d bytes, want %d", len(blob), blobSize)
+	}
+
+	// Re-issue the SAME request id (the rekey retry path) while element 3's
+	// direct replies are being dropped: the other elements retransmit their
+	// cached fragmented replies and the client still reassembles and votes.
+	sys.Net.AddFilter(func(from, to netsim.NodeID, _ []byte) ([]byte, bool) {
+		return nil, string(from) == ElementIdentity("ctr", 3) && string(to) == clientInboxAddr("alice")
+	})
+	op, err := reg.Lookup(ctrIface, "fetch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := cdr.Marshal(op.ParamsType(), []cdr.Value{int32(blobSize)}, alice.profile.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retryBlob string
+	a := alice.Go(func() error {
+		req := &giop.Request{
+			ObjectKey: "ctr", Interface: ctrIface, Operation: "fetch",
+			ResponseExpected: true, Body: body,
+		}
+		reply, order, err := alice.invokeOnce(ref, req, true)
+		if err != nil {
+			return err
+		}
+		out, err := cdr.Unmarshal(op.ResultsType(), reply.Body, order)
+		if err != nil {
+			return err
+		}
+		retryBlob = out.([]cdr.Value)[0].(string)
+		return nil
+	})
+	if err := sys.RunUntil(a.Done, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	if retryBlob != blob {
+		t.Fatalf("retransmitted blob differs: %d bytes vs %d", len(retryBlob), len(blob))
+	}
+	sys.Net.Run(2_000_000)
+	// The retransmission came from the reply cache: no re-execution.
+	for m, n := range executions {
+		if n != 1 {
+			t.Errorf("element %d executed %d times, want 1 (cache must answer retries)", m, n)
+		}
 	}
 }

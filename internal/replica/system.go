@@ -97,6 +97,20 @@ type SystemConfig struct {
 	// (16 KiB).
 	FragmentSize int
 
+	// DigestReplies enables the canonical-form reply-digest protocol
+	// (Castro-Liskov digest replies adapted to heterogeneous encodings):
+	// per request one designated element returns the full reply; the rest
+	// return a short digest over a canonical re-marshalling of the reply
+	// values. Off by default — the legacy wire streams stay byte-identical.
+	DigestReplies bool
+
+	// ReadOnlyFastPath enables the unordered read-only optimisation:
+	// clients multicast operations declared idl.Operation.ReadOnly
+	// directly to the elements, bypassing PBFT ordering, and accept on
+	// 2f+1 matching canonical values, falling back to the ordered path on
+	// quorum failure. Off by default.
+	ReadOnlyFastPath bool
+
 	// Metrics, if non-nil, receives counters and histograms from every
 	// layer of the stack (ORB, SMIOP, SRM/PBFT, voting, Group Manager).
 	// Nil disables metrics at near-zero cost (one nil check per event).
@@ -442,6 +456,12 @@ func (t *gmTransport) SendDirect(client string, payload []byte) {
 }
 
 func clientInboxAddr(name string) string { return name + "/inbox" }
+
+// elementInboxAddr is a domain element's direct (unordered) receive address,
+// used by the read-only fast path.
+func elementInboxAddr(domain string, member int) string {
+	return ElementIdentity(domain, member) + "/inbox"
+}
 
 func (sys *System) buildDomain(spec DomainSpec) error {
 	ring := pbft.NewKeyring()

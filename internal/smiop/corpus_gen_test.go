@@ -9,6 +9,38 @@ import (
 	"testing"
 )
 
+// TestGenDigestCorpus writes the committed seed corpus for
+// FuzzReplyDigestDecode: well-formed payloads (with and without a
+// signature), both digest-length violations, and a truncation. Regenerate
+// with:
+//
+//	go test -tags corpusgen -run TestGenDigestCorpus ./internal/smiop
+func TestGenDigestCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReplyDigestDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	digest := make([]byte, DigestSize)
+	for i := range digest {
+		digest[i] = byte(i)
+	}
+	signed := (&DigestPayload{Digest: digest, Sig: []byte("itdos-signature-bytes")}).Encode()
+	seeds := [][]byte{
+		signed,
+		(&DigestPayload{Digest: digest}).Encode(),
+		(&DigestPayload{Digest: digest[:DigestSize-1]}).Encode(),
+		(&DigestPayload{Digest: append(digest, 0xFF)}).Encode(),
+		signed[:len(signed)-5],
+	}
+	for i, seed := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%d", i))
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // chunk renders one fragment record in FuzzSMIOPReassemble's input format:
 // member(1) | fragIndex(1) | fragCount(1) | flags(1) | len(1) | payload.
 func chunk(member, idx, count, flags byte, payload []byte) []byte {

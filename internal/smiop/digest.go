@@ -1,0 +1,151 @@
+package smiop
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"itdos/internal/cdr"
+	"itdos/internal/giop"
+)
+
+// Reply digests (Castro–Liskov digest replies, re-derived for ITDOS).
+//
+// For a digest-flagged request, one deterministic designated responder
+// sends the full sealed GIOP reply; every other replica sends a short
+// digest instead, cutting the reply channel from 3f+1 full replies to one
+// full reply plus 3f digests. The digest cannot be a hash of the reply
+// bytes: heterogeneous replicas marshal the same values into different
+// byte streams (paper §3.6), so raw-byte digests would disagree exactly
+// where the full-reply voter would agree. The digest is therefore computed
+// over the *canonical CDR re-marshalling* of the unmarshalled reply values
+// (cdr.CanonicalMarshal: fixed byte order, normalised NaN/-0), bound to
+// the reply's identity fields so a digest for one operation cannot stand
+// in for another.
+
+// DigestSize is the length of a canonical reply digest (SHA-256).
+const DigestSize = sha256.Size
+
+// CanonicalReplyDigest computes the canonical digest of a reply: a hash
+// over a domain separator, the reply's identity fields, and the canonical
+// re-marshalling of its result values. Two replicas whose replies would
+// vote equal under exact value voting produce the same digest, whatever
+// their native encodings.
+func CanonicalReplyDigest(iface, op string, status giop.ReplyStatus, exception string,
+	tc *cdr.TypeCode, body cdr.Value) ([]byte, error) {
+
+	canon, err := cdr.CanonicalMarshal(tc, body)
+	if err != nil {
+		return nil, fmt.Errorf("smiop: canonical digest %s.%s: %w", iface, op, err)
+	}
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteString("itdos-reply-digest")
+	e.WriteString(iface)
+	e.WriteString(op)
+	e.WriteULong(uint32(status))
+	e.WriteString(exception)
+	e.WriteOctets(canon)
+	sum := sha256.Sum256(e.Bytes())
+	return sum[:], nil
+}
+
+// DigestPayload is the plaintext inside a sealed digest envelope: the
+// canonical reply digest plus the sending element's signature over it in
+// its transport context. The signature authenticates the digest but is
+// *not* transferable fault evidence — a bare digest does not reveal the
+// value it commits to, so digest votes never file change_requests; the
+// fallback's full-reply vote provides GM-verifiable evidence instead.
+type DigestPayload struct {
+	Digest []byte
+	Sig    []byte
+}
+
+// Encode serialises the payload canonically.
+func (p *DigestPayload) Encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctets(p.Digest)
+	e.WriteOctets(p.Sig)
+	return e.Bytes()
+}
+
+// DecodeDigestPayload parses a digest payload, rejecting malformed input
+// without panicking (Byzantine senders reach this path).
+func DecodeDigestPayload(buf []byte) (*DigestPayload, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	digest, err := d.ReadOctets()
+	if err != nil {
+		return nil, fmt.Errorf("smiop: digest payload: %w", err)
+	}
+	if len(digest) != DigestSize {
+		return nil, fmt.Errorf("smiop: digest payload: digest is %d bytes, want %d",
+			len(digest), DigestSize)
+	}
+	sig, err := d.ReadOctets()
+	if err != nil {
+		return nil, fmt.Errorf("smiop: digest payload: %w", err)
+	}
+	return &DigestPayload{
+		Digest: append([]byte(nil), digest...),
+		Sig:    append([]byte(nil), sig...),
+	}, nil
+}
+
+// DigestSigningBytes builds the byte string a digest message's signature
+// covers, binding the digest to its transport context exactly as
+// DataSigningBytes binds full messages.
+func DigestSigningBytes(connID, requestID uint64, srcDomain string, srcMember uint32,
+	digest []byte) []byte {
+
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteString("smiop-digest")
+	e.WriteULongLong(connID)
+	e.WriteULongLong(requestID)
+	e.WriteString(srcDomain)
+	e.WriteULong(srcMember)
+	e.WriteOctets(digest)
+	return e.Bytes()
+}
+
+// SealSignedDigest signs a canonical reply digest in the connection's
+// digest context and seals it into a digest envelope. Digest envelopes are
+// always replies and always fit one envelope.
+func (c *Connection) SealSignedDigest(requestID uint64, digest []byte,
+	sign func(msg []byte) []byte) (*Envelope, error) {
+
+	payload := &DigestPayload{Digest: digest}
+	if sign != nil {
+		payload.Sig = sign(DigestSigningBytes(c.ID, requestID, c.Local.Name,
+			uint32(c.LocalMember), digest))
+	}
+	sealed, err := c.send.Seal(payload.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("smiop: seal digest conn %d: %w", c.ID, err)
+	}
+	return &Envelope{
+		Kind:      KindDigest,
+		ConnID:    c.ID,
+		SrcDomain: c.Local.Name,
+		SrcMember: uint32(c.LocalMember),
+		RequestID: requestID,
+		Reply:     true,
+		Payload:   sealed,
+	}, nil
+}
+
+// DesignatedResponder maps a request id to the replica that must answer
+// with the full reply: requestID mod n, skipping expelled/suspected
+// members. Both connection endpoints evaluate it with their own expulsion
+// view; the Group Manager's rekey protocol keeps those views converging,
+// and a transient divergence at worst costs one fallback round.
+func DesignatedResponder(requestID uint64, n int, expelled func(member int) bool) int {
+	if n < 1 {
+		return 0
+	}
+	start := int(requestID % uint64(n))
+	for i := 0; i < n; i++ {
+		m := (start + i) % n
+		if expelled == nil || !expelled(m) {
+			return m
+		}
+	}
+	return start
+}

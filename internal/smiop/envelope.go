@@ -41,6 +41,13 @@ const (
 	KindChangeRequest
 	// KindClose tears down a connection.
 	KindClose
+	// KindDigest is a sealed canonical reply digest: a replica that is not
+	// the designated responder for a digest-flagged request answers with
+	// the digest of its reply's canonical re-marshalling instead of the
+	// full sealed GIOP reply (Castro–Liskov digest replies, re-derived for
+	// heterogeneous encodings). Only emitted when digest replies are
+	// enabled, so legacy streams never carry it.
+	KindDigest
 )
 
 // String names the envelope kind.
@@ -58,6 +65,8 @@ func (k Kind) String() string {
 		return "CHANGE_REQUEST"
 	case KindClose:
 		return "CLOSE"
+	case KindDigest:
+		return "DIGEST"
 	default:
 		return fmt.Sprintf("Kind(%d)", byte(k))
 	}
@@ -110,7 +119,7 @@ func DecodeEnvelope(buf []byte) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smiop: envelope: %w", err)
 	}
-	if kind == 0 || kind > byte(KindClose) {
+	if kind == 0 || kind > byte(KindDigest) {
 		return nil, fmt.Errorf("smiop: unknown envelope kind %d", kind)
 	}
 	env := &Envelope{Kind: Kind(kind)}

@@ -120,6 +120,12 @@ type Stream struct {
 	// request whose reply it could not read (e.g. across a rekey). Servers
 	// use it to resend the cached reply without re-executing.
 	OnPostDecision func(env *Envelope, val *MessageVal)
+	// OnFallback fires once per armed vote when the vote stalls — no class
+	// can still decide. Digest-mode votes stall under a lying designated
+	// responder or canonical-digest divergence; read-only fast-path votes
+	// stall when the 2f+1 unordered quorum fails. The endpoint reacts by
+	// re-requesting over the slow path.
+	OnFallback func(requestID uint64)
 
 	// Dropped counts envelopes rejected before voting (decryption failure,
 	// malformed GIOP, unknown operation).
@@ -134,6 +140,9 @@ type Stream struct {
 	// advancing to a new request id abandons, not closes, the old one).
 	voteOpen bool
 
+	// fallbackFired ensures OnFallback fires at most once per armed vote.
+	fallbackFired bool
+
 	// Delivery counters (nil-safe; nil when unobserved).
 	mEnvelopes   *obs.Counter
 	mDiscarded   *obs.Counter
@@ -144,6 +153,13 @@ type Stream struct {
 	mFaults      *obs.Counter
 	hReceived    *obs.Histogram
 	gInflight    *obs.Gauge
+
+	// Reply-path counters, labelled by connection id so reuse runs expose
+	// per-client asymmetries.
+	mReplyFull       *obs.Counter
+	mReplyDigest     *obs.Counter
+	mDigestDecisions *obs.Counter
+	mFallbacks       *obs.Counter
 }
 
 // NewStream builds the inbound pipeline for conn.
@@ -176,6 +192,11 @@ func NewStream(conn *Connection, cfg StreamConfig) (*Stream, error) {
 		}
 		s.hReceived = r.Histogram("vote_decision_received", bounds)
 		s.gInflight = r.Gauge("vote_inflight")
+		connLabel := fmt.Sprintf("conn=%d", conn.ID)
+		s.mReplyFull = r.Counter("smiop_reply_full_total", connLabel)
+		s.mReplyDigest = r.Counter("smiop_reply_digest_total", connLabel)
+		s.mDigestDecisions = r.Counter("smiop_digest_decisions_total", connLabel)
+		s.mFallbacks = r.Counter("smiop_reply_fallback_total", connLabel)
 	}
 	return s, nil
 }
@@ -197,23 +218,55 @@ func (s *Stream) ExpectReply(requestID uint64, iface, op string) error {
 	if err := s.cv.Expect(requestID, s.comparator()); err != nil {
 		return err
 	}
-	s.markVoteOpen()
-	s.faultsForwarded = 0
-	s.frags.reset()
+	s.armed()
+	return nil
+}
+
+// ExpectDigestReply arms a digest-mode vote: the designated responder's
+// full reply plus f matching canonical digests decide (client side, digest
+// replies enabled).
+func (s *Stream) ExpectDigestReply(requestID uint64, iface, op string, responder int) error {
+	s.expectedIface, s.expectedOp = iface, op
+	if err := s.cv.ExpectDigest(requestID, responder); err != nil {
+		return err
+	}
+	s.armed()
+	return nil
+}
+
+// ExpectReadOnlyReply arms the voter for the replies to an unordered
+// read-only invocation. The threshold is 2f+1 — matching an unordered
+// read on 2f+1 replicas guarantees the value intersects every ordered
+// quorum (Castro–Liskov read-only optimisation).
+func (s *Stream) ExpectReadOnlyReply(requestID uint64, iface, op string) error {
+	s.expectedIface, s.expectedOp = iface, op
+	threshold := 2*s.conn.Peer.F + 1
+	if err := s.cv.ExpectThreshold(requestID, s.comparator(), threshold); err != nil {
+		return err
+	}
+	s.armed()
 	return nil
 }
 
 // RetryReply re-arms the voter for the same request id with fresh state —
-// the retry path after a rekey killed the in-flight vote.
+// the retry path after a rekey killed the in-flight vote, and the digest
+// fallback path re-requesting full replies for the same request.
 func (s *Stream) RetryReply(requestID uint64, iface, op string) error {
 	s.expectedIface, s.expectedOp = iface, op
 	if err := s.cv.Redo(requestID, s.comparator()); err != nil {
 		return err
 	}
+	s.armed()
+	return nil
+}
+
+// armed resets per-vote delivery state after the connection voter accepted
+// a new (or redone) expectation.
+func (s *Stream) armed() {
 	s.markVoteOpen()
 	s.faultsForwarded = 0
+	s.fallbackFired = false
 	s.frags.reset()
-	return nil
 }
 
 // markVoteOpen / markVoteClosed maintain the vote_inflight gauge.
@@ -246,9 +299,7 @@ func (s *Stream) Deliver(env *Envelope) error {
 		if err := s.cv.Expect(env.RequestID, s.comparator()); err != nil {
 			return err
 		}
-		s.markVoteOpen()
-		s.faultsForwarded = 0
-		s.frags.reset()
+		s.armed()
 	}
 	if env.RequestID != s.cv.CurrentID() {
 		// Late or Byzantine — indistinguishable; discard without penalty
@@ -262,6 +313,23 @@ func (s *Stream) Deliver(env *Envelope) error {
 		s.Dropped++
 		s.mDropped.Inc()
 		return err
+	}
+	if env.Reply {
+		if env.Kind == KindDigest {
+			s.mReplyDigest.Inc()
+		} else {
+			s.mReplyFull.Inc()
+		}
+	}
+	if s.cv.DigestVoter() != nil {
+		return s.deliverDigestMode(env, plaintext)
+	}
+	if env.Kind == KindDigest {
+		// A digest without an armed digest vote: stale (post-fallback) or
+		// Byzantine — indistinguishable, discard without penalty.
+		s.cv.Discarded++
+		s.mDiscarded.Inc()
+		return nil
 	}
 	// Fragmented messages reassemble before verification; incomplete
 	// messages simply wait for their remaining fragments.
@@ -354,7 +422,152 @@ func (s *Stream) Deliver(env *Envelope) error {
 		s.OnMessage(val, dec)
 		dsp.End()
 	}
+	if dec == nil {
+		s.maybeFallback(env.RequestID)
+	}
 	return nil
+}
+
+// deliverDigestMode routes one envelope into an armed digest vote: digest
+// envelopes submit their canonical digest directly; the designated
+// responder's full data reply is unmarshalled, its canonical digest
+// recomputed locally, and submitted as the full value.
+func (s *Stream) deliverDigestMode(env *Envelope, plaintext []byte) error {
+	if env.Kind == KindDigest {
+		if env.FragCount > 1 {
+			s.Dropped++
+			s.mDropped.Inc()
+			return fmt.Errorf("smiop: conn %d: fragmented digest envelope", s.conn.ID)
+		}
+		payload, err := DecodeDigestPayload(plaintext)
+		if err != nil {
+			s.Dropped++
+			s.mDropped.Inc()
+			return err
+		}
+		if s.cfg.VerifySig != nil {
+			signing := DigestSigningBytes(env.ConnID, env.RequestID, env.SrcDomain,
+				env.SrcMember, payload.Digest)
+			if !s.cfg.VerifySig(env.SrcDomain, env.SrcMember, signing, payload.Sig) {
+				s.Dropped++
+				s.mDropped.Inc()
+				return fmt.Errorf("smiop: conn %d member %d: bad digest signature",
+					s.conn.ID, env.SrcMember)
+			}
+		}
+		return s.submitDigest(env.RequestID, vote.DigestSubmission{
+			Member: int(env.SrcMember),
+			Digest: payload.Digest,
+			Raw:    plaintext,
+		})
+	}
+	// The full reply (designated responder). Large replies may fragment.
+	plaintext, err := s.frags.add(env, plaintext)
+	if err != nil {
+		s.Dropped++
+		s.mDropped.Inc()
+		return err
+	}
+	if plaintext == nil {
+		return nil
+	}
+	payload, err := DecodeSignedPayload(plaintext)
+	if err != nil {
+		s.Dropped++
+		s.mDropped.Inc()
+		return err
+	}
+	if s.cfg.VerifySig != nil {
+		signing := DataSigningBytes(env.ConnID, env.RequestID, env.SrcDomain,
+			env.SrcMember, env.Reply, payload.GIOP)
+		if !s.cfg.VerifySig(env.SrcDomain, env.SrcMember, signing, payload.Sig) {
+			s.Dropped++
+			s.mDropped.Inc()
+			return fmt.Errorf("smiop: conn %d member %d: bad message signature",
+				s.conn.ID, env.SrcMember)
+		}
+	}
+	usp := s.cfg.Tracer.Start("smiop.unmarshal")
+	val, err := s.unmarshal(payload.GIOP)
+	usp.End()
+	if err != nil {
+		s.Dropped++
+		s.mDropped.Inc()
+		return err
+	}
+	digest, err := CanonicalReplyDigest(val.Interface, val.Operation, val.Status,
+		val.Exception, val.TC, val.Body)
+	if err != nil {
+		s.Dropped++
+		s.mDropped.Inc()
+		return err
+	}
+	return s.submitDigest(env.RequestID, vote.DigestSubmission{
+		Member: int(env.SrcMember),
+		Digest: digest,
+		Full:   val,
+		Raw:    plaintext,
+	})
+}
+
+// submitDigest routes a digest-mode submission and handles decision and
+// stall outcomes. Digest votes never file fault reports — a bare digest is
+// not GM-verifiable evidence; the fallback's full vote re-detects faults.
+func (s *Stream) submitDigest(requestID uint64, sub vote.DigestSubmission) error {
+	s.mSubmissions.Inc()
+	vsp := s.cfg.Tracer.Start("vote.submit")
+	dec, err := s.cv.SubmitDigest(requestID, sub)
+	vsp.End()
+	if err != nil {
+		return err
+	}
+	if dec == nil {
+		s.maybeFallback(requestID)
+		return nil
+	}
+	s.markVoteClosed()
+	s.mDecisions.Inc()
+	s.mDigestDecisions.Inc()
+	s.hReceived.Observe(float64(dec.Received))
+	if s.OnMessage != nil {
+		dsp := s.cfg.Tracer.Start("vote.decide",
+			fmt.Sprintf("received=%d", dec.Received),
+			fmt.Sprintf("supporters=%d", len(dec.Supporters)))
+		s.OnMessage(dec.Value.(*MessageVal), dec)
+		dsp.End()
+	}
+	return nil
+}
+
+// maybeFallback fires OnFallback exactly once when the armed vote has
+// stalled (digest mismatch, lying responder, or read-only quorum failure).
+func (s *Stream) maybeFallback(requestID uint64) {
+	if s.fallbackFired || s.OnFallback == nil || requestID != s.cv.CurrentID() {
+		return
+	}
+	stalled := false
+	if dv := s.cv.DigestVoter(); dv != nil {
+		stalled = dv.Stalled()
+	} else if v := s.cv.Voter(); v != nil {
+		stalled = v.Stalled()
+	}
+	if !stalled {
+		return
+	}
+	s.fallbackFired = true
+	s.mFallbacks.Inc()
+	s.OnFallback(requestID)
+}
+
+// NoteFallback records an externally-triggered fallback (the caller's
+// liveness timeout, which sees silence the voter cannot) on the stream's
+// per-connection fallback counter. Idempotent per armed vote.
+func (s *Stream) NoteFallback() {
+	if s.fallbackFired {
+		return
+	}
+	s.fallbackFired = true
+	s.mFallbacks.Inc()
 }
 
 // buildVal decodes a GIOP message into a MessageVal (used by the

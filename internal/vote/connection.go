@@ -16,7 +16,9 @@ type ConnectionVoter struct {
 	mode Mode
 
 	currentID uint64
+	armed     bool
 	voter     *Voter
+	dvoter    *DigestVoter
 
 	// Discarded counts messages dropped for a mismatched request id.
 	Discarded uint64
@@ -39,16 +41,44 @@ func NewConnectionVoter(n, f int, mode Mode) (*ConnectionVoter, error) {
 // the voter GC the paper requires for progress). Identifiers must be
 // strictly increasing.
 func (c *ConnectionVoter) Expect(requestID uint64, cmp Comparator) error {
-	if requestID <= c.currentID && c.voter != nil {
+	return c.ExpectThreshold(requestID, cmp, 0)
+}
+
+// ExpectThreshold is Expect with an explicit decision threshold (0 selects
+// the default F+1). The read-only fast path votes with threshold 2F+1.
+func (c *ConnectionVoter) ExpectThreshold(requestID uint64, cmp Comparator, threshold int) error {
+	if requestID <= c.currentID && c.armed {
 		return fmt.Errorf("vote: request id %d not increasing (current %d)",
 			requestID, c.currentID)
 	}
-	v, err := NewVoter(Config{N: c.n, F: c.f, Comparator: cmp, Mode: c.mode})
+	v, err := NewVoter(Config{N: c.n, F: c.f, Comparator: cmp, Mode: c.mode, Threshold: threshold})
 	if err != nil {
 		return err
 	}
 	c.currentID = requestID
+	c.armed = true
 	c.voter = v
+	c.dvoter = nil
+	return nil
+}
+
+// ExpectDigest opens collation for a request whose sender asked for digest
+// replies: the designated responder's full reply plus matching canonical
+// digests decide the vote (see DigestVoter). Identifiers must be strictly
+// increasing, as for Expect.
+func (c *ConnectionVoter) ExpectDigest(requestID uint64, responder int) error {
+	if requestID <= c.currentID && c.armed {
+		return fmt.Errorf("vote: request id %d not increasing (current %d)",
+			requestID, c.currentID)
+	}
+	dv, err := NewDigestVoter(c.n, c.f, responder)
+	if err != nil {
+		return err
+	}
+	c.currentID = requestID
+	c.armed = true
+	c.voter = nil
+	c.dvoter = dv
 	return nil
 }
 
@@ -65,14 +95,20 @@ func (c *ConnectionVoter) Redo(requestID uint64, cmp Comparator) error {
 		return err
 	}
 	c.voter = v
+	c.dvoter = nil
 	return nil
 }
 
 // CurrentID returns the outstanding request identifier.
 func (c *ConnectionVoter) CurrentID() uint64 { return c.currentID }
 
-// Voter exposes the in-progress voter (nil before the first Expect).
+// Voter exposes the in-progress full-reply voter (nil before the first
+// Expect, and nil while a digest vote is armed).
 func (c *ConnectionVoter) Voter() *Voter { return c.voter }
+
+// DigestVoter exposes the in-progress digest voter (nil unless ExpectDigest
+// armed the outstanding request).
+func (c *ConnectionVoter) DigestVoter() *DigestVoter { return c.dvoter }
 
 // Submit routes one member's message. Messages whose requestID does not
 // match the outstanding request are discarded and counted, regardless of
@@ -83,6 +119,17 @@ func (c *ConnectionVoter) Submit(requestID uint64, s Submission) (*Decision, err
 		return nil, nil
 	}
 	return c.voter.Submit(s)
+}
+
+// SubmitDigest routes one member's digest-mode contribution. Submissions
+// whose requestID does not match the outstanding digest vote are discarded
+// and counted, as in Submit.
+func (c *ConnectionVoter) SubmitDigest(requestID uint64, s DigestSubmission) (*Decision, error) {
+	if c.dvoter == nil || requestID != c.currentID {
+		c.Discarded++
+		return nil, nil
+	}
+	return c.dvoter.Submit(s)
 }
 
 // Faults returns the fault reports for the outstanding vote.

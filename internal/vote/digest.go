@@ -1,0 +1,189 @@
+package vote
+
+import (
+	"fmt"
+	"sort"
+
+	"itdos/internal/cdr"
+)
+
+// DigestVoter runs the reply-digest vote of the Castro–Liskov digest-reply
+// optimisation, re-derived for heterogeneous replicas: per request one
+// deterministic designated responder returns the full reply while every
+// other replica returns a short digest of the *canonical re-marshalling*
+// of its reply values — a digest over raw reply bytes would disagree
+// exactly where ITDOS's byte-by-byte voting fails (paper §3.6).
+//
+// Decision rule: a digest class decides once it holds a full reply AND at
+// least f+1 supporters in total (digests count as supporters; with at most
+// f faulty members, f+1 matching canonical digests pin the value, and the
+// full reply supplies the bytes). Waiting for the full reply — instead of
+// deciding on f+1 bare digests — is what makes the happy path one
+// round-trip: the designated responder's full reply usually completes an
+// already-f+1 digest class.
+//
+// The voter never decides on digests alone; when no class that has (or can
+// still get) a full reply can reach f+1, the vote is stalled and the
+// caller falls back to full-reply voting by re-requesting full replies.
+// A lying designated responder (full reply in a minority class) and
+// platform float divergence (exact canonical digests scatter) both
+// surface as stalls.
+//
+// Digest votes file no fault reports: a bare digest is not transferable
+// evidence the Group Manager could verify against the data-signing
+// context. The fallback's full-reply vote re-detects any faulty value
+// with properly signed full messages (see ITDOS change_request, §3.6).
+type DigestVoter struct {
+	n, f      int
+	responder int
+
+	classes  []*digestClass
+	seen     map[int]bool
+	decision *Decision
+}
+
+type digestClass struct {
+	digest  string
+	members []int
+	raws    [][]byte
+	// full* hold the first full reply clustered into this class.
+	fullVal cdr.Value
+	fullRaw []byte
+}
+
+// DigestSubmission is one member's contribution: always a canonical
+// digest, plus the unmarshalled full reply when the member sent one (the
+// designated responder on the happy path).
+type DigestSubmission struct {
+	Member int
+	// Digest is the canonical reply digest. For a full reply it is
+	// computed by the receiver from the unmarshalled values; for a digest
+	// reply it is the wire content itself.
+	Digest []byte
+	// Full is the unmarshalled reply value (nil for digest-only replies).
+	Full cdr.Value
+	// Raw is the signed wire payload, kept as the decision representative.
+	Raw []byte
+}
+
+// NewDigestVoter builds a digest voter for a domain of n members with
+// failure bound f, whose designated responder is the given member index.
+func NewDigestVoter(n, f, responder int) (*DigestVoter, error) {
+	if n < 1 || f < 0 || n < f+1 {
+		return nil, fmt.Errorf("vote: invalid digest group n=%d f=%d", n, f)
+	}
+	if responder < 0 || responder >= n {
+		return nil, fmt.Errorf("vote: responder %d out of range [0,%d)", responder, n)
+	}
+	return &DigestVoter{n: n, f: f, responder: responder, seen: make(map[int]bool)}, nil
+}
+
+// Responder returns the designated responder's member index.
+func (v *DigestVoter) Responder() int { return v.responder }
+
+// Received returns how many distinct members have submitted.
+func (v *DigestVoter) Received() int { return len(v.seen) }
+
+// Decided reports whether the vote has completed.
+func (v *DigestVoter) Decided() bool { return v.decision != nil }
+
+// Decision returns the decision, or nil while the vote is open.
+func (v *DigestVoter) Decision() *Decision { return v.decision }
+
+// Submit records one member's digest (and full reply, if any). It returns
+// the decision when this submission completes the vote, or nil. Duplicate
+// submissions from the same member are ignored.
+func (v *DigestVoter) Submit(s DigestSubmission) (*Decision, error) {
+	if s.Member < 0 || s.Member >= v.n {
+		return nil, fmt.Errorf("vote: member %d out of range [0,%d)", s.Member, v.n)
+	}
+	if len(s.Digest) == 0 {
+		return nil, fmt.Errorf("vote: member %d submitted an empty digest", s.Member)
+	}
+	if v.seen[s.Member] {
+		return nil, nil
+	}
+	v.seen[s.Member] = true
+
+	key := string(s.Digest)
+	var home *digestClass
+	for _, c := range v.classes {
+		if c.digest == key {
+			home = c
+			break
+		}
+	}
+	if home == nil {
+		home = &digestClass{digest: key}
+		v.classes = append(v.classes, home)
+	}
+	home.members = append(home.members, s.Member)
+	home.raws = append(home.raws, s.Raw)
+	if s.Full != nil && home.fullVal == nil {
+		home.fullVal = s.Full
+		home.fullRaw = s.Raw
+	}
+	if v.decision != nil {
+		return nil, nil
+	}
+	v.tryDecide()
+	return v.decision, nil
+}
+
+func (v *DigestVoter) tryDecide() {
+	for _, c := range v.classes {
+		if c.fullVal == nil || len(c.members) < v.f+1 {
+			continue
+		}
+		members := append([]int(nil), c.members...)
+		raws := append([][]byte(nil), c.raws...)
+		sort.Sort(&memberRawSort{members: members, raws: raws})
+		v.decision = &Decision{
+			Value:         c.fullVal,
+			Raw:           c.fullRaw,
+			Supporters:    members,
+			SupporterRaws: raws,
+			Received:      len(v.seen),
+		}
+		return
+	}
+}
+
+type memberRawSort struct {
+	members []int
+	raws    [][]byte
+}
+
+func (s *memberRawSort) Len() int           { return len(s.members) }
+func (s *memberRawSort) Less(i, j int) bool { return s.members[i] < s.members[j] }
+func (s *memberRawSort) Swap(i, j int) {
+	s.members[i], s.members[j] = s.members[j], s.members[i]
+	s.raws[i], s.raws[j] = s.raws[j], s.raws[i]
+}
+
+// Stalled reports whether the vote can no longer decide: no class that
+// holds (or can still receive) a full reply can reach f+1 supporters even
+// if every remaining member submits. A class can still receive a full
+// reply only while the designated responder has not submitted — honest
+// non-responders send digests.
+func (v *DigestVoter) Stalled() bool {
+	if v.decision != nil {
+		return false
+	}
+	remaining := v.n - len(v.seen)
+	responderPending := !v.seen[v.responder]
+	for _, c := range v.classes {
+		if c.fullVal == nil && !responderPending {
+			continue // this class will never get reply bytes
+		}
+		if len(c.members)+remaining >= v.f+1 {
+			return false
+		}
+	}
+	// A yet-unseen responder could still open a fresh class with its full
+	// reply; that class needs f more digests from the other unseen members.
+	if responderPending && remaining-1+1 >= v.f+1 {
+		return false
+	}
+	return true
+}

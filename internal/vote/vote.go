@@ -138,6 +138,11 @@ type Config struct {
 	Comparator Comparator
 	// Mode selects the decision policy; default EagerFPlus1.
 	Mode Mode
+	// Threshold is the class size required to decide; 0 selects the
+	// paper's F+1 rule. The read-only fast path votes with threshold 2F+1:
+	// matching an unordered read on 2f+1 replicas guarantees the value
+	// intersects every ordered quorum (Castro–Liskov §read-only).
+	Threshold int
 }
 
 // Submission is one member's message content for the vote.
@@ -207,9 +212,12 @@ func NewVoter(cfg Config) (*Voter, error) {
 	if cfg.N < 1 || cfg.F < 0 {
 		return nil, fmt.Errorf("vote: invalid group n=%d f=%d", cfg.N, cfg.F)
 	}
-	if cfg.N < cfg.F+1 {
-		return nil, fmt.Errorf("vote: n=%d can never reach f+1=%d identical messages",
-			cfg.N, cfg.F+1)
+	if cfg.Threshold == 0 {
+		cfg.Threshold = cfg.F + 1
+	}
+	if cfg.Threshold < cfg.F+1 || cfg.N < cfg.Threshold {
+		return nil, fmt.Errorf("vote: n=%d can never reach threshold %d (f=%d)",
+			cfg.N, cfg.Threshold, cfg.F)
 	}
 	return &Voter{cfg: cfg, seen: make(map[int]bool)}, nil
 }
@@ -288,7 +296,7 @@ func (v *Voter) tryDecide() {
 		}
 	}
 	for _, c := range v.classes {
-		if len(c.members) >= v.cfg.F+1 {
+		if len(c.members) >= v.cfg.Threshold {
 			v.decide(c)
 			return
 		}
@@ -354,7 +362,7 @@ func (v *Voter) Stalled() bool {
 			best = len(c.members)
 		}
 	}
-	return best+remaining < v.cfg.F+1
+	return best+remaining < v.cfg.Threshold
 }
 
 // Approval implements Parhami's third voting category [31]: instead of
