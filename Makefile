@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check build vet lint test race bench-json fuzz fuzz-smoke corpus clean
+.PHONY: check build vet lint lint-sarif test race bench-json fuzz fuzz-smoke corpus clean
 
 check: build vet lint race
 
@@ -24,6 +24,13 @@ vet:
 
 lint:
 	$(GO) run ./cmd/itdos-lint ./...
+
+# SARIF report for the code-scanning upload. Findings do not fail this
+# target — the plain `lint` target is the gate; this one always produces
+# the report so CI can upload triage data even on red runs.
+lint-sarif:
+	mkdir -p lint-out
+	-$(GO) run ./cmd/itdos-lint -sarif ./... > lint-out/itdos-lint.sarif
 
 test:
 	$(GO) test ./...

@@ -44,6 +44,11 @@ var allChecks = []*Check{
 	checkErrDrop,
 	checkLockHold,
 	checkSpanLeak,
+	checkDetMap,
+	checkQuorumArith,
+	checkInsecureRand,
+	checkTickerLeak,
+	checkBoundedDecode,
 }
 
 func lookupChecks(names string) ([]*Check, error) {
@@ -108,7 +113,8 @@ func (f Finding) String() string {
 //	//itdos:nolint                       (all checks)
 //	//itdos:nolint ct-mac                (one check)
 //	//itdos:nolint ct-mac,err-drop -- justification text
-var nolintRe = regexp.MustCompile(`^//itdos:nolint(?:[ \t]+([a-zA-Z0-9_, \t-]+?))?(?:[ \t]+--[ \t]*(.*))?[ \t]*$`)
+//	//itdos:nolint:det-map // justification text   (colon form)
+var nolintRe = regexp.MustCompile(`^//itdos:nolint(?::([a-zA-Z0-9_,-]+)|[ \t]+([a-zA-Z0-9_, \t-]+?))?(?:[ \t]+(?:--|//)[ \t]*(.*))?[ \t]*$`)
 
 type nolintDirective struct {
 	checks        map[string]bool // nil means all checks
@@ -130,10 +136,14 @@ func collectNolint(fset *token.FileSet, f *ast.File, src []byte) map[int]*nolint
 			if m == nil {
 				continue
 			}
-			d := &nolintDirective{justification: strings.TrimSpace(m[2])}
-			if m[1] != "" {
+			names := m[1] // colon form
+			if names == "" {
+				names = m[2] // space form
+			}
+			d := &nolintDirective{justification: strings.TrimSpace(m[3])}
+			if names != "" {
 				d.checks = make(map[string]bool)
-				for _, n := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+				for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
 					if n != "" {
 						d.checks[n] = true
 					}

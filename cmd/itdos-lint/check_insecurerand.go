@@ -1,0 +1,44 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// checkInsecureRand keeps statistical randomness out of the key-handling
+// layers. SecureSMART's post-mortem of BFT libraries found randomness
+// misuse (predictable nonces, guessable session keys) among the defects
+// that actually break deployed systems, and nothing in Go stops
+// `math/rand` from flowing into a key: it compiles, runs, and produces
+// plausible-looking bytes an adversary can regenerate. Everything under
+// internal/seckey, internal/dprf, internal/smiop and internal/groupmgr
+// derives or transports communication-key material (paper §3.5), so any
+// reference to math/rand there — even an explicitly seeded generator — is
+// a finding; key material must come from crypto/rand, the HMAC-based DPRF,
+// or the seeded DRBG that internal/dprf provides for deterministic tests.
+var checkInsecureRand = &Check{
+	Name:  "insecure-rand",
+	Doc:   "forbids math/rand in key-handling packages (seckey, dprf, smiop, groupmgr)",
+	Paths: []string{"internal/seckey", "internal/dprf", "internal/smiop", "internal/groupmgr"},
+	Run:   runInsecureRand,
+}
+
+func runInsecureRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(), "use of %s.%s in a key-handling package: math/rand output is predictable; use crypto/rand or the dprf DRBG", obj.Pkg().Path(), obj.Name())
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkQuorumArith pins every quorum-size computation to internal/quorum.
+// The intrusion-tolerance argument depends on exactly two counting facts
+// (f+1 matching values contain a correct one; 2f+1-sized sets intersect in
+// a correct member), and the planned heterogeneous-trust work will replace
+// raw counts with trust-structure-derived sizes. Hand-rolled 2f+1 / 3f+1 /
+// n−f arithmetic scattered across packages would silently fork from that
+// change, so any such expression outside internal/quorum is a finding.
+var checkQuorumArith = &Check{
+	Name: "quorum-arith",
+	Doc:  "forbids hand-rolled 2f+1/3f+1/n-f quorum arithmetic outside internal/quorum",
+	Run:  runQuorumArith,
+}
+
+// quorumPkgSuffix is the one package allowed to do quorum arithmetic.
+const quorumPkgSuffix = "internal/quorum"
+
+func runQuorumArith(p *Pass) {
+	if p.RelDir == quorumPkgSuffix || strings.HasSuffix(p.RelDir, "/"+quorumPkgSuffix) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.MUL:
+				if k, fx := quorumMulParts(p, be); k != 0 {
+					p.Reportf(be.Pos(), "quorum arithmetic %d*%s outside internal/quorum; use quorum.ReadOnly/Prepared/N so heterogeneous trust structures can resize quorums centrally", k, exprText(fx))
+					return false // don't re-report a nested 2*f inside 2*f+1
+				}
+			case token.SUB:
+				if isGroupSizeExpr(p, be.X) && isFaultBoundExpr(p, be.Y) {
+					p.Reportf(be.Pos(), "quorum arithmetic %s-%s outside internal/quorum; use quorum.Prepared(n, f)", exprText(be.X), exprText(be.Y))
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// quorumMulParts matches k*f or f*k with k in {2,3} and f a fault-bound
+// expression, returning k and the fault-bound operand (k=0 for no match).
+func quorumMulParts(p *Pass, be *ast.BinaryExpr) (int64, ast.Expr) {
+	if k, ok := smallIntConst(p.Info, be.X); ok && (k == 2 || k == 3) && isFaultBoundExpr(p, be.Y) {
+		return k, be.Y
+	}
+	if k, ok := smallIntConst(p.Info, be.Y); ok && (k == 2 || k == 3) && isFaultBoundExpr(p, be.X) {
+		return k, be.X
+	}
+	return 0, nil
+}
+
+func smallIntConst(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// isFaultBoundExpr reports whether e names a Byzantine failure bound: an
+// identifier or selector leaf called f/F, or a name containing "fault"
+// (maxFaults, faultBound, NumFaults...). Only integer-typed expressions
+// qualify, so 2*freq on a float is never a finding.
+func isFaultBoundExpr(p *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	name := leafName(e)
+	if name == "" {
+		return false
+	}
+	if !isIntegerExpr(p.Info, e) {
+		return false
+	}
+	lower := strings.ToLower(name)
+	return lower == "f" || strings.Contains(lower, "fault")
+}
+
+// isGroupSizeExpr reports whether e names a group size: an identifier or
+// selector leaf called n/N, or len(...) of a member collection is NOT
+// counted (lengths are data, not configuration).
+func isGroupSizeExpr(p *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	name := leafName(e)
+	if name == "" || !isIntegerExpr(p.Info, e) {
+		return false
+	}
+	return strings.ToLower(name) == "n"
+}
+
+// leafName extracts the rightmost identifier of an identifier or selector
+// chain (cfg.F -> "F"), or "" for anything else.
+func leafName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// exprText renders a short source-ish form of an expression for messages.
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "expr"
+}

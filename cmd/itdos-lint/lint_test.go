@@ -157,7 +157,10 @@ func TestSuppression(t *testing.T) {
 			t.Errorf("%s: suppression recorded without justification", s)
 		}
 	}
-	for _, want := range []string{"no-wallclock", "ct-mac"} {
+	for _, want := range []string{
+		"no-wallclock", "ct-mac", // space form: //itdos:nolint check -- reason
+		"det-map", "quorum-arith", "insecure-rand", "ticker-leak", "bounded-decode", // colon form: //itdos:nolint:check // reason
+	} {
 		if byCheck[want] == 0 {
 			t.Errorf("expected a suppressed %s finding in fixtures", want)
 		}
@@ -217,6 +220,113 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	if out.Summary.Findings != len(out.Findings) {
 		t.Errorf("summary count %d != findings %d", out.Summary.Findings, len(out.Findings))
+	}
+}
+
+// TestLintSelfClean runs all registered checks over the real module
+// in-process and requires zero unsuppressed findings and a justification on
+// every suppression — the self-application acceptance criterion.
+func TestLintSelfClean(t *testing.T) {
+	if len(allChecks) != 11 {
+		t.Fatalf("registered checks = %d, want 11", len(allChecks))
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lintModule(repoRoot, lintOptions{Checks: allChecks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range res.TypeErrs {
+		t.Errorf("type-check: %s", te)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+	for _, s := range res.Suppressed {
+		if s.Justification == "" {
+			t.Errorf("suppression without justification: %s", s)
+		}
+	}
+}
+
+// TestSARIFOutput verifies the -sarif mode emits a parseable SARIF 2.1.0
+// log with one rule per registered check and suppression objects on
+// silenced findings.
+func TestSARIFOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureRoot(t), "-sarif", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("fixture violations: exit = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind          string `json:"kind"`
+					Justification string `json:"justification"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("bad SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "itdos-lint" {
+		t.Errorf("driver = %q, want itdos-lint", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) != len(allChecks) {
+		t.Errorf("rules = %d, want %d", len(r.Tool.Driver.Rules), len(allChecks))
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("fixture run produced no SARIF results")
+	}
+	var suppressed int
+	for _, res := range r.Results {
+		if res.RuleID == "" {
+			t.Error("result without ruleId")
+		}
+		if len(res.Locations) != 1 || res.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result for %s lacks a positioned location", res.RuleID)
+		}
+		for _, s := range res.Suppressions {
+			suppressed++
+			if s.Kind != "inSource" || s.Justification == "" {
+				t.Errorf("suppression on %s missing kind/justification", res.RuleID)
+			}
+		}
+	}
+	if suppressed == 0 {
+		t.Error("expected suppressed fixture findings to carry suppression objects")
 	}
 }
 

@@ -1,16 +1,24 @@
 // Command itdos-lint is a project-specific static-analysis pass enforcing
 // ITDOS invariants that ordinary Go tooling cannot know about:
 //
-//	no-wallclock  deterministic simulation paths take no wall-clock time,
-//	              no process-seeded randomness, no map-order dependence
-//	value-vote    the voter compares unmarshalled CDR values, never bytes
-//	ct-mac        MAC/digest comparisons are constant-time
-//	err-drop      decode/encode errors on the Byzantine surface propagate
-//	lock-hold     every mutex Lock has a dominating Unlock
+//	no-wallclock    deterministic simulation paths take no wall-clock time,
+//	                no process-seeded randomness, no map-order dependence
+//	value-vote      the voter compares unmarshalled CDR values, never bytes
+//	ct-mac          MAC/digest comparisons are constant-time
+//	err-drop        decode/encode errors on the Byzantine surface propagate
+//	lock-hold       every mutex Lock has a dominating Unlock
+//	span-leak       every trace span started is ended on every path
+//	det-map         no map-ordered writes reach canonical marshalling,
+//	                digests/MACs, or transport sends
+//	quorum-arith    all 2f+1/3f+1/n-f arithmetic lives in internal/quorum
+//	insecure-rand   no math/rand in the key-handling packages
+//	ticker-leak     no per-iteration timer allocation, no unstopped tickers
+//	bounded-decode  no make sized by an unvalidated wire-length field
 //
 // Findings suppress with a justified comment:
 //
 //	//itdos:nolint ct-mac -- public digest, not an authenticator
+//	//itdos:nolint:det-map // iteration feeds a commutative counter
 //
 // trailing on the offending line or alone on the line above it. The tool
 // uses only the standard library (go/ast, go/parser, go/types); module
@@ -35,12 +43,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("itdos-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as JSON")
-		checks  = fs.String("checks", "", "comma-separated checks to run (default: all)")
-		list    = fs.Bool("list", false, "list registered checks and exit")
-		tests   = fs.Bool("tests", false, "also analyze _test.go files")
-		chdir   = fs.String("C", ".", "run as if started in this directory")
-		showSup = fs.Bool("show-suppressed", false, "also print suppressed findings")
+		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
+		sarifOut = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for code-scanning upload)")
+		checks   = fs.String("checks", "", "comma-separated checks to run (default: all)")
+		list     = fs.Bool("list", false, "list registered checks and exit")
+		tests    = fs.Bool("tests", false, "also analyze _test.go files")
+		chdir    = fs.String("C", ".", "run as if started in this directory")
+		showSup  = fs.Bool("show-suppressed", false, "also print suppressed findings")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: itdos-lint [flags] [./... | package dirs]\n")
@@ -78,7 +87,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "itdos-lint: type-check: %s\n", te)
 	}
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(stdout, res); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		out := struct {
@@ -101,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range res.Findings {
 			fmt.Fprintln(stdout, f)
 		}

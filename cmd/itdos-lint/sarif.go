@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 output, the minimum subset GitHub code scanning ingests:
+// one run, one driver, a rule per registered check, a result per finding.
+// Suppressed findings are emitted with an inSource suppression object so
+// the dashboard shows them as reviewed rather than silently dropping them.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// writeSARIF renders a lint run as a SARIF 2.1.0 log. Every registered
+// check appears as a rule even when it produced no findings, so the code
+// scanning UI can show which invariants were enforced.
+func writeSARIF(w io.Writer, res *lintResult) error {
+	ruleIndex := make(map[string]int, len(allChecks))
+	rules := make([]sarifRule, 0, len(allChecks))
+	for i, c := range allChecks {
+		ruleIndex[c.Name] = i
+		rules = append(rules, sarifRule{ID: c.Name, ShortDescription: sarifText{Text: c.Doc}})
+	}
+
+	toResult := func(f Finding) sarifResult {
+		r := sarifResult{
+			RuleID:    f.Check,
+			RuleIndex: ruleIndex[f.Check],
+			Level:     "error",
+			Message:   sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		if f.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.Justification}}
+		}
+		return r
+	}
+
+	results := make([]sarifResult, 0, len(res.Findings)+len(res.Suppressed))
+	for _, f := range res.Findings {
+		results = append(results, toResult(f))
+	}
+	for _, f := range res.Suppressed {
+		results = append(results, toResult(f))
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "itdos-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,36 @@
+package detmap
+
+import (
+	"crypto/sha256"
+	"sort"
+)
+
+// The canonical idiom: sort the keys, range the sorted slice. The ordered
+// loop ranges over a slice, so det-map never sees it.
+func digestSorted(m map[string]byte) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{m[k]})
+	}
+	return h.Sum(nil)
+}
+
+// A per-entry hash created inside the loop restarts each iteration and is
+// order-independent (the DPRF's per-share HMAC works this way).
+func perEntryDigests(m map[string][]byte) map[string][32]byte {
+	out := make(map[string][32]byte, len(m))
+	for k, v := range m {
+		h := sha256.New()
+		h.Write(v)
+		var d [32]byte
+		copy(d[:], h.Sum(nil))
+		out[k] = d
+	}
+	return out
+}

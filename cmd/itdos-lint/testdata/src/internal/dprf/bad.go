@@ -1,0 +1,27 @@
+// Package dprf holds fixtures for the insecure-rand check: statistical
+// randomness in a key-handling package.
+package dprf
+
+import (
+	"math/rand"
+)
+
+func weakKey(buf []byte) {
+	rand.Read(buf) // want:insecure-rand
+}
+
+func weakNonce() uint64 {
+	return rand.Uint64() // want:insecure-rand
+}
+
+// Even an explicitly seeded generator is predictable to anyone who learns
+// or guesses the seed.
+func seededKey(seed int64, buf []byte) {
+	r := rand.New(rand.NewSource(seed)) // want:insecure-rand insecure-rand
+	r.Read(buf)                         // want:insecure-rand
+}
+
+// Suppressed: scheduling jitter in a test harness, never key material.
+func jitterMillis() int {
+	return rand.Intn(50) //itdos:nolint:insecure-rand // test-harness scheduling jitter; output never touches key material
+}

@@ -1,0 +1,21 @@
+package dprf
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+)
+
+// Key material comes from crypto/rand, with the error propagated.
+func strongKey(buf []byte) error {
+	_, err := rand.Read(buf)
+	return err
+}
+
+// Deterministic derivation via HMAC (the real DPRF's construction) needs
+// no randomness source at all.
+func derive(master, input []byte) []byte {
+	m := hmac.New(sha256.New, master)
+	m.Write(input)
+	return m.Sum(nil)
+}

@@ -1,0 +1,37 @@
+// Package giop holds fixtures for the bounded-decode check: allocations
+// sized by attacker-controlled wire-length fields.
+package giop
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var (
+	errShort  = errors.New("short buffer")
+	errTooBig = errors.New("length exceeds cap")
+)
+
+// Decoder mirrors the real CDR decoder's length-field readers.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *Decoder) ReadOctet() (byte, error) {
+	if d.pos+1 > len(d.buf) {
+		return 0, errShort
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *Decoder) ReadULong() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, errShort
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}

@@ -1,0 +1,45 @@
+package giop
+
+import "encoding/binary"
+
+const maxBody = 1 << 16
+
+// The sanctioned shape: compare the wire length against a cap before
+// allocating.
+func decodeBounded(d *Decoder) ([]byte, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > maxBody {
+		return nil, errTooBig
+	}
+	out := make([]byte, n)
+	for i := range out {
+		b, err := d.ReadOctet()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// A byte-sized count is bounded by construction (<= 255), so ReadOctet is
+// not a taint source.
+func decodeSmallList(d *Decoder) ([]byte, error) {
+	c, err := d.ReadOctet()
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, c), nil
+}
+
+// Clamping with min is a valid bound.
+func decodeClamped(b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, errShort
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	return make([]byte, min(n, 4096)), nil
+}

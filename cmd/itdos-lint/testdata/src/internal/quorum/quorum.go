@@ -1,0 +1,19 @@
+// Package quorum mirrors the real internal/quorum package. quorum-arith
+// exempts this directory, so the raw arithmetic below must produce no
+// findings despite matching the banned patterns everywhere else.
+package quorum
+
+// N is the minimum group size tolerating f Byzantine faults.
+func N(f int) int { return 3*f + 1 }
+
+// Vote is the value-pinning threshold.
+func Vote(f int) int { return f + 1 }
+
+// ReadOnly is the intersecting-quorum size.
+func ReadOnly(f int) int { return 2*f + 1 }
+
+// Prepared is the agreement quorum for a group of n with bound f.
+func Prepared(n, f int) int {
+	_ = n
+	return 2*f + 1
+}

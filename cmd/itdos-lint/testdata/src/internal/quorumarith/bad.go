@@ -1,0 +1,30 @@
+// Package quorumarith holds fixtures for the quorum-arith check:
+// hand-rolled quorum sizes outside internal/quorum.
+package quorumarith
+
+type config struct {
+	N, F      int
+	MaxFaults int
+}
+
+func groupSize(f int) int {
+	return 3*f + 1 // want:quorum-arith
+}
+
+func agreement(f int) int {
+	return 2*f + 1 // want:quorum-arith
+}
+
+func liveness(c config) int {
+	return c.N - c.F // want:quorum-arith
+}
+
+func enough(got int, c config) bool {
+	return got >= 2*c.MaxFaults+1 // want:quorum-arith
+}
+
+// Suppressed: regeneration of a recorded table, asserted equal to the
+// quorum package by its tests.
+func legacyTable(f int) int {
+	return 2*f + 1 //itdos:nolint:quorum-arith // recorded-table regen; equality with quorum.ReadOnly is asserted in tests
+}

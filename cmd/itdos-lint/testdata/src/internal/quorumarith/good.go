@@ -1,0 +1,15 @@
+package quorumarith
+
+import "fixture/internal/quorum"
+
+// The sanctioned path: take sizes from the quorum package.
+func thresholds(n, f int) (int, int, bool) {
+	return quorum.Vote(f), quorum.ReadOnly(f), n >= quorum.N(f)
+}
+
+// Arithmetic that merely resembles quorum math is not a finding: the
+// multiplier operand is not a fault bound and the subtrahend is not either.
+func unrelated(weight, n int) int {
+	doubled := 2 * weight
+	return doubled + n - 1
+}

@@ -101,4 +101,23 @@ func TestGenCDRCorpus(t *testing.T) {
 			}
 		}
 	}
+
+	// Oversize length fields: a handful of bytes claiming gigabytes. The
+	// decoder must reject these without allocating anywhere near the claimed
+	// size (the bounded-decode lint check guards the code side; these seeds
+	// guard it dynamically). All-0xFF length fields read huge in either byte
+	// order.
+	oversize := [][]byte{
+		{10, 0xFF, 0xFF, 0xFF, 0xFF, 'x'},             // String: 4 GiB length, 1 byte present
+		{11, 0xFF, 0xFF, 0xFF, 0xF0},                  // sequence<octet>: huge count, empty body
+		{13, 0x7F, 0xFF, 0xFF, 0xFF, 0, 0, 0, 2},      // nested sequence: huge outer count
+		{12, 0, 0, 0, 2, 0xFF, 0xFF, 0xFF, 0xFE, 'a'}, // sequence<string>: huge inner string length
+	}
+	for i, seed := range oversize {
+		name := filepath.Join(dir, fmt.Sprintf("seed-oversize-%d", i))
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }

@@ -28,6 +28,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sort"
+
+	"itdos/internal/quorum"
 )
 
 // ValueSize is the PRF output size in bytes.
@@ -70,15 +72,17 @@ func (p Params) Validate() error {
 	if p.N < 1 || p.F < 0 {
 		return fmt.Errorf("dprf: invalid group n=%d f=%d", p.N, p.F)
 	}
-	if p.N < 2*p.F+1 {
+	if p.N < quorum.ReadOnly(p.F) {
 		return fmt.Errorf("dprf: n=%d too small to verify against f=%d corruptions (need n >= 2f+1)",
 			p.N, p.F)
 	}
 	return nil
 }
 
-// Quorum returns the number of shares needed for verified combination.
-func (p Params) Quorum() int { return 2*p.F + 1 }
+// Quorum returns the number of shares needed for verified combination:
+// with shares from 2f+1 distinct parties, every sub-key has at least f+1
+// reporters, so the majority value per subset is correct.
+func (p Params) Quorum() int { return quorum.ReadOnly(p.F) }
 
 // Party holds one party's sub-keys.
 type Party struct {
@@ -203,7 +207,7 @@ func Combine(params Params, shares []*Share) (Value, []int, error) {
 		}
 		var winner *Value
 		for v, supporters := range counts {
-			if len(supporters) >= params.F+1 {
+			if len(supporters) >= quorum.Vote(params.F) {
 				v := v
 				winner = &v
 				break

@@ -55,4 +55,15 @@ func TestGenGIOPCorpus(t *testing.T) {
 			}
 		}
 	}
+
+	// Oversize length field: a valid message whose header size(u32) claims
+	// 4 GiB. Decode must reject the size/buffer mismatch without trusting
+	// the field (header layout: magic[4] | ver[2] | flags | msgType |
+	// size(u32) at offset 8).
+	oversize := EncodeRequest(cdr.BigEndian, req)
+	oversize[8], oversize[9], oversize[10], oversize[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", oversize)
+	if err := os.WriteFile(filepath.Join(dir, "seed-oversize-size"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }

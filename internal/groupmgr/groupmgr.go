@@ -24,6 +24,7 @@ import (
 	"itdos/internal/giop"
 	"itdos/internal/idl"
 	"itdos/internal/obs"
+	"itdos/internal/quorum"
 	"itdos/internal/smiop"
 )
 
@@ -338,7 +339,7 @@ func (m *Manager) onChangeRequest(sender string, env *smiop.Envelope) {
 		byDomain[accuserDomain] = members
 	}
 	members[accuserMember] = true
-	if len(members) >= accuserInfo.F+1 {
+	if len(members) >= quorum.Vote(accuserInfo.F) {
 		m.expel(cr.TargetDomain, int(cr.Accused), false)
 	}
 }
@@ -423,7 +424,7 @@ func (m *Manager) validateProof(cr *smiop.ChangeRequest, target smiop.PeerInfo) 
 		if hasAccused {
 			continue
 		}
-		if len(distinct) >= target.F+1 {
+		if len(distinct) >= quorum.Vote(target.F) {
 			// A correct majority disagrees with the accused: proof stands
 			// if the accused's value is not equal to this class.
 			eq, err := m.equalValues(op, cr.Reply, class[0].val, accusedVal)

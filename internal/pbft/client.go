@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"time"
+
+	"itdos/internal/quorum"
 )
 
 // ClientEnv is the world a PBFT client talks to.
@@ -36,7 +38,7 @@ func (c *ClientConfig) fill() error {
 	if c.RetransmitTimeout == 0 {
 		c.RetransmitTimeout = 300 * time.Millisecond
 	}
-	if c.N < 3*c.F+1 {
+	if c.N < quorum.N(c.F) {
 		return fmt.Errorf("pbft: client config: n=%d < 3f+1 (f=%d)", c.N, c.F)
 	}
 	if c.Auth == nil {
@@ -145,7 +147,7 @@ func (c *Client) onReply(reply *Reply) {
 			count++
 		}
 	}
-	if count < c.cfg.F+1 {
+	if count < quorum.Vote(c.cfg.F) {
 		return
 	}
 	c.pending = nil

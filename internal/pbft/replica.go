@@ -9,6 +9,7 @@ import (
 
 	"itdos/internal/cdr"
 	"itdos/internal/obs"
+	"itdos/internal/quorum"
 )
 
 // App is the replicated state machine PBFT drives. In ITDOS the App is the
@@ -104,7 +105,7 @@ func (c *Config) fill() error {
 	if c.BatchWait == 0 {
 		c.BatchWait = 2 * time.Millisecond
 	}
-	if c.N < 3*c.F+1 {
+	if c.N < quorum.N(c.F) {
 		return fmt.Errorf("pbft: n=%d cannot tolerate f=%d (need n >= 3f+1)", c.N, c.F)
 	}
 	if c.ID < 0 || int(c.ID) >= c.N {
@@ -284,7 +285,7 @@ func (r *Replica) Primary(view uint64) ReplicaID {
 
 func (r *Replica) isPrimary() bool { return r.Primary(r.view) == r.cfg.ID }
 
-func (r *Replica) quorum() int { return 2*r.cfg.F + 1 }
+func (r *Replica) quorum() int { return quorum.Prepared(r.cfg.N, r.cfg.F) }
 
 // HandleMessage decodes, authenticates and dispatches one wire message.
 // Malformed or badly-signed messages are dropped (Byzantine senders own
@@ -661,7 +662,9 @@ func (r *Replica) preparedCount(en *entry) int {
 }
 
 func (r *Replica) isPrepared(en *entry) bool {
-	return en.prePrepare != nil && r.preparedCount(en) >= 2*r.cfg.F
+	// The pre-prepare itself supplies the primary's slot in the prepared
+	// quorum, so one fewer prepare is needed.
+	return en.prePrepare != nil && r.preparedCount(en) >= r.quorum()-1
 }
 
 func (r *Replica) tryPrepared(seq uint64) {
@@ -692,7 +695,7 @@ func (r *Replica) recordCommit(c *Commit) {
 	// Missing the proposal while f+1 (hence ≥1 correct) replicas commit it:
 	// recover the pre-prepare from a committer (PBFT message
 	// retransmission).
-	if en.prePrepare == nil && !en.fetchedPP && len(en.commits) > r.cfg.F {
+	if en.prePrepare == nil && !en.fetchedPP && len(en.commits) >= quorum.Vote(r.cfg.F) {
 		en.fetchedPP = true
 		fe := &FetchEntry{View: c.View, Seq: c.Seq, Replica: r.cfg.ID}
 		SignMessage(r.cfg.Auth, fe)
@@ -707,8 +710,8 @@ func (r *Replica) recordCommit(c *Commit) {
 			}
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		if len(ids) > r.cfg.F+1 {
-			ids = ids[:r.cfg.F+1]
+		if len(ids) > quorum.Vote(r.cfg.F) {
+			ids = ids[:quorum.Vote(r.cfg.F)]
 		}
 		for _, id := range ids {
 			r.env.SendReplica(id, data)

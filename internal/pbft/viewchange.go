@@ -1,6 +1,10 @@
 package pbft
 
-import "sort"
+import (
+	"sort"
+
+	"itdos/internal/quorum"
+)
 
 // startViewChange abandons the current view and solicits installation of
 // newView. It is triggered by timer expiry (suspected faulty primary), by
@@ -47,15 +51,15 @@ func (r *Replica) collectPrepared() []*PreparedProof {
 		if seq <= r.lowWater || !r.isPrepared(en) {
 			continue
 		}
-		prepares := make([]*Prepare, 0, 2*r.cfg.F)
+		prepares := make([]*Prepare, 0, r.quorum()-1)
 		for _, p := range en.prepares {
 			if p.Digest == en.prePrepare.Digest {
 				prepares = append(prepares, p)
 			}
 		}
 		sort.Slice(prepares, func(i, j int) bool { return prepares[i].Replica < prepares[j].Replica })
-		if len(prepares) > 2*r.cfg.F {
-			prepares = prepares[:2*r.cfg.F]
+		if len(prepares) > r.quorum()-1 {
+			prepares = prepares[:r.quorum()-1]
 		}
 		proofs = append(proofs, &PreparedProof{PrePrepare: en.prePrepare, Prepares: prepares})
 	}
@@ -105,7 +109,7 @@ func (r *Replica) maybeJoinViewChange() {
 			}
 		}
 	}
-	if len(votes) <= r.cfg.F {
+	if len(votes) < quorum.Vote(r.cfg.F) {
 		return
 	}
 	smallest := uint64(0)
@@ -360,7 +364,7 @@ func (r *Replica) verifyViewChange(vc *ViewChange) bool {
 			}
 			seenRep[p.Replica] = true
 		}
-		if len(seenRep) < 2*r.cfg.F {
+		if len(seenRep) < r.quorum()-1 {
 			return false
 		}
 	}

@@ -1,0 +1,67 @@
+// Package quorum centralises every quorum-size computation in the ITDOS
+// stack. The paper's intrusion-tolerance argument (§3.2) rests on two
+// counting facts about a replication domain of n elements containing at
+// most f Byzantine ones:
+//
+//   - any set of f+1 elements contains at least one correct element, so
+//     f+1 matching values pin the correct value (the voter's decision
+//     rule, §3.6, and the Group Manager's accusation threshold);
+//   - any two sets of 2f+1 elements intersect in at least f+1 elements,
+//     hence in at least one correct element, so 2f+1-sized quorums see
+//     each other's effects (the Castro–Liskov agreement quorums the
+//     ordered multicast uses, §3.2, and the unordered read-only quorum).
+//
+// Keeping the arithmetic here — and nowhere else; the quorum-arith lint
+// check forbids hand-rolled 2f+1/3f+1/n−f expressions outside this
+// package — means the planned heterogeneous-trust work (Sheff et al.,
+// "Distributed Protocols and Heterogeneous Trust") can swap
+// trust-structure-derived sizes in behind these same functions: a
+// deployment that declares two replicas on the same platform to be
+// correlated simply returns larger quorums from ReadOnly/Prepared and a
+// larger minimum from N, and every caller inherits the change.
+package quorum
+
+// N returns the minimum size of a replication domain that solves
+// Byzantine agreement while tolerating f faulty elements: 3f+1
+// (paper §3.2; Castro–Liskov §3). Smaller groups cannot both make
+// progress with f elements silent and exclude f lying ones.
+func N(f int) int { return 3*f + 1 }
+
+// MaxFaults returns the largest failure bound a domain of n elements can
+// tolerate for ordered agreement: the inverse of N, ⌊(n−1)/3⌋.
+func MaxFaults(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return (n - 1) / 3
+}
+
+// Vote returns the voter's decision threshold for a domain with failure
+// bound f: f+1 matching values must contain one from a correct element
+// (paper §3.6). The same count is the Group Manager's accusation
+// threshold — f+1 distinct accusers include a correct one — and the
+// client's reply-acceptance rule in the ordering layer.
+func Vote(f int) int { return f + 1 }
+
+// ReadOnly returns the quorum for decisions that bypass ordering: 2f+1.
+// Any 2f+1 elements intersect every other 2f+1-set in f+1 elements, i.e.
+// in at least one correct element, so an unordered read matched on 2f+1
+// replies is guaranteed to observe the latest ordered write
+// (Castro–Liskov read-only optimisation; paper §3.2 quorum sizing). The
+// DPRF share verification uses the same count for the same reason:
+// shares from 2f+1 parties give every sub-key at least f+1 reporters.
+func ReadOnly(f int) int { return 2*f + 1 }
+
+// Prepared returns the agreement quorum the ordered multicast needs
+// before a proposal may take effect in a domain of n elements with
+// failure bound f: matching messages from 2f+1 distinct elements
+// (pre-prepare plus 2f prepares, commits, checkpoint proofs, view-change
+// certificates — Castro–Liskov §4.2; paper §3.2). Today the size depends
+// only on f — with n = 3f+1 the classic 2f+1 is exactly n−f — but the
+// signature takes n so a trust-structure-derived size (which must count
+// platforms, not just processes) can replace the body without touching
+// any call site.
+func Prepared(n, f int) int {
+	_ = n // reserved for heterogeneous-trust quorum sizing
+	return 2*f + 1
+}

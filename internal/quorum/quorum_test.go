@@ -1,0 +1,62 @@
+package quorum
+
+import "testing"
+
+// TestClassicSizes pins the classic Byzantine counting facts the paper's
+// §3.2 argument uses; these are load-bearing for every recorded schedule,
+// so a heterogeneous-trust change must keep them for uniform groups.
+func TestClassicSizes(t *testing.T) {
+	for f := 0; f <= 8; f++ {
+		if got, want := N(f), 3*f+1; got != want {
+			t.Errorf("N(%d) = %d, want %d", f, got, want)
+		}
+		if got, want := Vote(f), f+1; got != want {
+			t.Errorf("Vote(%d) = %d, want %d", f, got, want)
+		}
+		if got, want := ReadOnly(f), 2*f+1; got != want {
+			t.Errorf("ReadOnly(%d) = %d, want %d", f, got, want)
+		}
+		if got, want := Prepared(N(f), f), 2*f+1; got != want {
+			t.Errorf("Prepared(N(%d), %d) = %d, want %d", f, f, got, want)
+		}
+	}
+}
+
+// TestIntersection verifies the two quorum-intersection properties the
+// sizes exist to provide, for every group size a test or demo uses.
+func TestIntersection(t *testing.T) {
+	for f := 0; f <= 8; f++ {
+		n := N(f)
+		// Two Prepared quorums intersect in at least f+1 elements, so in
+		// at least one correct element.
+		if 2*Prepared(n, f)-n < Vote(f) {
+			t.Errorf("f=%d: two prepared quorums of %d in n=%d intersect in %d < Vote=%d",
+				f, Prepared(n, f), n, 2*Prepared(n, f)-n, Vote(f))
+		}
+		// A ReadOnly quorum intersects every Prepared quorum in a correct
+		// element, which is what lets unordered reads observe ordered writes.
+		if ReadOnly(f)+Prepared(n, f)-n < 1 {
+			t.Errorf("f=%d: read-only quorum misses prepared quorums", f)
+		}
+		// Progress: n−f elements always answer, and they suffice for both.
+		if n-f < Prepared(n, f) || n-f < ReadOnly(f) {
+			t.Errorf("f=%d: live elements %d cannot form quorums", f, n-f)
+		}
+	}
+}
+
+func TestMaxFaults(t *testing.T) {
+	cases := []struct{ n, f int }{
+		{0, 0}, {1, 0}, {3, 0}, {4, 1}, {6, 1}, {7, 2}, {10, 3},
+	}
+	for _, c := range cases {
+		if got := MaxFaults(c.n); got != c.f {
+			t.Errorf("MaxFaults(%d) = %d, want %d", c.n, got, c.f)
+		}
+	}
+	for f := 0; f <= 8; f++ {
+		if got := MaxFaults(N(f)); got != f {
+			t.Errorf("MaxFaults(N(%d)) = %d, want %d", f, got, f)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"itdos/internal/obs"
 	"itdos/internal/orb"
 	"itdos/internal/pbft"
+	"itdos/internal/quorum"
 	"itdos/internal/seckey"
 	"itdos/internal/smiop"
 	"itdos/internal/srm"
@@ -127,7 +128,7 @@ func (c *SystemConfig) fill() error {
 	if c.GM.N == 0 {
 		c.GM = GroupSpec{N: 4, F: 1}
 	}
-	if c.GM.N < 3*c.GM.F+1 || c.GM.N < 2*c.GM.F+1 {
+	if c.GM.N < quorum.N(c.GM.F) || c.GM.N < quorum.ReadOnly(c.GM.F) {
 		return fmt.Errorf("replica: gm group n=%d f=%d invalid", c.GM.N, c.GM.F)
 	}
 	if c.VoteMode == 0 {
@@ -151,7 +152,7 @@ func (c *SystemConfig) fill() error {
 			return fmt.Errorf("replica: invalid or duplicate domain name %q", d.Name)
 		}
 		names[d.Name] = true
-		if d.N < 3*d.F+1 {
+		if d.N < quorum.N(d.F) {
 			return fmt.Errorf("replica: domain %s: n=%d < 3f+1 (f=%d)", d.Name, d.N, d.F)
 		}
 	}

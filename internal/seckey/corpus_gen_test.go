@@ -30,12 +30,18 @@ func TestGenSeckeyCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Oversize length field: genuine sealed bytes whose plaintext-length
+	// header (u32 at offset 8) claims 4 GiB. Open must reject the
+	// length/buffer mismatch before allocating or MAC-ing.
+	oversizeLen := append([]byte(nil), sealedShort...)
+	oversizeLen[8], oversizeLen[9], oversizeLen[10], oversizeLen[11] = 0xFF, 0xFF, 0xFF, 0xFF
 	seeds := [][]byte{
 		nil,
 		[]byte("increment(counter-1)"),
 		sealedShort,
 		sealedEmpty,
 		make([]byte, 60), // minimum sealed length, all zero
+		oversizeLen,
 	}
 	for i, seed := range seeds {
 		name := filepath.Join(dir, fmt.Sprintf("seed-%d", i))

@@ -3,6 +3,7 @@ package smiop
 import (
 	"fmt"
 
+	"itdos/internal/quorum"
 	"itdos/internal/seckey"
 )
 
@@ -18,7 +19,7 @@ func (p PeerInfo) Validate() error {
 	if p.Name == "" {
 		return fmt.Errorf("smiop: peer needs a name")
 	}
-	if p.N < 1 || p.F < 0 || (p.F > 0 && p.N < 3*p.F+1) {
+	if p.N < 1 || p.F < 0 || (p.F > 0 && p.N < quorum.N(p.F)) {
 		return fmt.Errorf("smiop: peer %s has invalid group n=%d f=%d", p.Name, p.N, p.F)
 	}
 	return nil

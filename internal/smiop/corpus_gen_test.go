@@ -25,12 +25,20 @@ func TestGenDigestCorpus(t *testing.T) {
 		digest[i] = byte(i)
 	}
 	signed := (&DigestPayload{Digest: digest, Sig: []byte("itdos-signature-bytes")}).Encode()
+	// Oversize length fields (the payload is big-endian CDR: ULong length +
+	// octets, twice): a digest length claiming 4 GiB from an 8-byte buffer,
+	// and a well-formed digest followed by a signature length claiming 2 GiB.
+	oversizeDigestLen := []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4}
+	unsigned := (&DigestPayload{Digest: digest}).Encode()
+	oversizeSigLen := append(unsigned[:len(unsigned)-4], 0x7F, 0xFF, 0xFF, 0xFF)
 	seeds := [][]byte{
 		signed,
 		(&DigestPayload{Digest: digest}).Encode(),
 		(&DigestPayload{Digest: digest[:DigestSize-1]}).Encode(),
 		(&DigestPayload{Digest: append(digest, 0xFF)}).Encode(),
 		signed[:len(signed)-5],
+		oversizeDigestLen,
+		oversizeSigLen,
 	}
 	for i, seed := range seeds {
 		name := filepath.Join(dir, fmt.Sprintf("seed-%d", i))

@@ -8,6 +8,7 @@ import (
 	"itdos/internal/giop"
 	"itdos/internal/idl"
 	"itdos/internal/obs"
+	"itdos/internal/quorum"
 	"itdos/internal/vote"
 )
 
@@ -240,7 +241,7 @@ func (s *Stream) ExpectDigestReply(requestID uint64, iface, op string, responder
 // quorum (Castro–Liskov read-only optimisation).
 func (s *Stream) ExpectReadOnlyReply(requestID uint64, iface, op string) error {
 	s.expectedIface, s.expectedOp = iface, op
-	threshold := 2*s.conn.Peer.F + 1
+	threshold := quorum.ReadOnly(s.conn.Peer.F)
 	if err := s.cv.ExpectThreshold(requestID, s.comparator(), threshold); err != nil {
 		return err
 	}

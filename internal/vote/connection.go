@@ -2,6 +2,8 @@ package vote
 
 import (
 	"fmt"
+
+	"itdos/internal/quorum"
 )
 
 // ConnectionVoter is the per-connection voter element of the ITDOS protocol
@@ -27,7 +29,7 @@ type ConnectionVoter struct {
 // NewConnectionVoter returns a voter for a connection to a replication
 // domain of n members with failure bound f.
 func NewConnectionVoter(n, f int, mode Mode) (*ConnectionVoter, error) {
-	if n < 1 || f < 0 || n < f+1 {
+	if n < 1 || f < 0 || n < quorum.Vote(f) {
 		return nil, fmt.Errorf("vote: invalid connection group n=%d f=%d", n, f)
 	}
 	if mode == 0 {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"itdos/internal/cdr"
+	"itdos/internal/quorum"
 )
 
 // DigestVoter runs the reply-digest vote of the Castro–Liskov digest-reply
@@ -69,7 +70,7 @@ type DigestSubmission struct {
 // NewDigestVoter builds a digest voter for a domain of n members with
 // failure bound f, whose designated responder is the given member index.
 func NewDigestVoter(n, f, responder int) (*DigestVoter, error) {
-	if n < 1 || f < 0 || n < f+1 {
+	if n < 1 || f < 0 || n < quorum.Vote(f) {
 		return nil, fmt.Errorf("vote: invalid digest group n=%d f=%d", n, f)
 	}
 	if responder < 0 || responder >= n {
@@ -132,7 +133,7 @@ func (v *DigestVoter) Submit(s DigestSubmission) (*Decision, error) {
 
 func (v *DigestVoter) tryDecide() {
 	for _, c := range v.classes {
-		if c.fullVal == nil || len(c.members) < v.f+1 {
+		if c.fullVal == nil || len(c.members) < quorum.Vote(v.f) {
 			continue
 		}
 		members := append([]int(nil), c.members...)
@@ -176,13 +177,13 @@ func (v *DigestVoter) Stalled() bool {
 		if c.fullVal == nil && !responderPending {
 			continue // this class will never get reply bytes
 		}
-		if len(c.members)+remaining >= v.f+1 {
+		if len(c.members)+remaining >= quorum.Vote(v.f) {
 			return false
 		}
 	}
 	// A yet-unseen responder could still open a fresh class with its full
 	// reply; that class needs f more digests from the other unseen members.
-	if responderPending && remaining-1+1 >= v.f+1 {
+	if responderPending && remaining-1+1 >= quorum.Vote(v.f) {
 		return false
 	}
 	return true

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"itdos/internal/cdr"
+	"itdos/internal/quorum"
 )
 
 // Comparator decides whether two unmarshalled values are equivalent.
@@ -213,9 +214,9 @@ func NewVoter(cfg Config) (*Voter, error) {
 		return nil, fmt.Errorf("vote: invalid group n=%d f=%d", cfg.N, cfg.F)
 	}
 	if cfg.Threshold == 0 {
-		cfg.Threshold = cfg.F + 1
+		cfg.Threshold = quorum.Vote(cfg.F)
 	}
-	if cfg.Threshold < cfg.F+1 || cfg.N < cfg.Threshold {
+	if cfg.Threshold < quorum.Vote(cfg.F) || cfg.N < cfg.Threshold {
 		return nil, fmt.Errorf("vote: n=%d can never reach threshold %d (f=%d)",
 			cfg.N, cfg.Threshold, cfg.F)
 	}
@@ -287,7 +288,7 @@ func (v *Voter) tryDecide() {
 	case EagerFPlus1:
 		// Decide the moment any class has f+1 supporters.
 	case AfterQuorum:
-		if len(v.seen) < 2*v.cfg.F+1 {
+		if len(v.seen) < quorum.ReadOnly(v.cfg.F) {
 			return
 		}
 	case WaitAll:
