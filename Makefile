@@ -16,6 +16,14 @@ check: build vet lint race
 check-perf:
 	$(GO) run ./cmd/itdos-bench -check P1,P2,P3
 
+# Adversary campaign suite: seeded multi-stage campaigns (C9 slow
+# compromise + collusion, C10 lying designated responder under churn, C11
+# compromised-then-recovered replica) asserting the intrusion-response
+# loop end to end — decisions correct, <= f expelled, liveness restored.
+.PHONY: campaign
+campaign:
+	$(GO) run ./cmd/itdos-bench -check C9,C10,C11
+
 build:
 	$(GO) build ./...
 

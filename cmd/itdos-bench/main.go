@@ -1,8 +1,9 @@
 // Command itdos-bench regenerates the reproduction's experiment tables:
 // the paper's three figures as running scenarios (F1–F3), its quantitative
-// claims as measurements (C1–C8), and three design ablations (A1–A3). See
-// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
-// output.
+// claims as measurements (C1–C8), scripted adversary campaigns exercising
+// the intrusion-response loop (C9–C11), and three design ablations
+// (A1–A3). See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded output.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@
 //	itdos-bench -markdown    # emit EXPERIMENTS-ready markdown
 //	itdos-bench -json        # write BENCH_<id>.json per experiment
 //	itdos-bench -check P1    # exit non-zero on a perf regression guard
+//	itdos-bench -check C9,C10,C11  # run the adversary campaign guards
 package main
 
 import (
@@ -39,7 +41,7 @@ func run(args []string) error {
 	markdown := fs.Bool("markdown", false, "emit markdown instead of aligned text")
 	jsonOut := fs.Bool("json", false, "write BENCH_<id>.json per experiment instead of printing")
 	outDir := fs.String("out", ".", "directory for -json output files")
-	check := fs.String("check", "", "run a regression guard (currently: P1) and exit non-zero on failure")
+	check := fs.String("check", "", "run a regression or campaign guard and exit non-zero on failure")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,12 +57,18 @@ func run(args []string) error {
 				"digest replies cut bytes/call >= 3.0x at 256 KiB"},
 			"P3": {func() error { return bench.CheckP3(2.0) },
 				"read-only fast path >= 2.0x fewer msgs/get and lower latency"},
+			"C9": {func() error { return bench.CheckCampaign("C9") },
+				"campaign: slow compromise stays, collusion expelled <= f"},
+			"C10": {func() error { return bench.CheckCampaign("C10") },
+				"campaign: lying designated responder expelled under churn"},
+			"C11": {func() error { return bench.CheckCampaign("C11") },
+				"campaign: proactive recovery evicts sub-threshold foothold"},
 		}
 		for _, id := range strings.Split(*check, ",") {
 			id = strings.ToUpper(strings.TrimSpace(id))
 			c, ok := checks[id]
 			if !ok {
-				return fmt.Errorf("unknown check %q (available: P1, P2, P3)", id)
+				return fmt.Errorf("unknown check %q (available: P1, P2, P3, C9, C10, C11)", id)
 			}
 			if err := c.run(); err != nil {
 				return err

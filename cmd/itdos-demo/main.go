@@ -9,6 +9,7 @@
 //	itdos-demo -n 7 -f 2 -calls 50          # larger domain
 //	itdos-demo -byzantine 2 -after 3        # compromise replica 2 after call 3
 //	itdos-demo -clients 3 -seed 9           # concurrent clients
+//	itdos-demo -itc -metrics                # automated intrusion response
 package main
 
 import (
@@ -42,6 +43,7 @@ func run(args []string) error {
 	after := fs.Int("after", 2, "compromise after this many calls of client 0")
 	seed := fs.Int64("seed", 1, "simulation seed (same seed => identical run)")
 	epsilon := fs.Float64("epsilon", 0, "inexact voting tolerance (0 = exact)")
+	itcOn := fs.Bool("itc", false, "enable the intrusion-tolerance controller (feedback rekey + proactive recovery)")
 	trace := fs.Bool("trace", false, "print the span tree of client 0's first invocation")
 	traceJSON := fs.Bool("trace-json", false, "print the full span forest as itdos-trace/1 JSON")
 	metrics := fs.Bool("metrics", false, "print the metrics registry after the run")
@@ -71,16 +73,31 @@ func run(args []string) error {
 		clientSpecs[i] = itdos.ClientSpec{Name: fmt.Sprintf("client-%d", i)}
 	}
 	var mreg *itdos.Metrics
-	if *metrics || *trace || *traceJSON {
+	if *metrics || *trace || *traceJSON || *itcOn {
 		mreg = itdos.NewMetrics()
 	}
+	var itcCfg *itdos.ITCConfig
+	var checkpoint uint64
+	if *itcOn {
+		// A demo-paced controller: rekey feedback and recovery rotation both
+		// fast enough to fire within a short run's simulated time. Proactive
+		// recovery completes on checkpoint-driven state transfer, so the
+		// checkpoint interval drops to match the modest call volume.
+		itcCfg = &itdos.ITCConfig{
+			BaseRekeyInterval: 2 * time.Second,
+			RecoveryInterval:  time.Second,
+		}
+		checkpoint = 4
+	}
 	sys, err := itdos.NewSystem(itdos.Config{
-		Seed:     *seed,
-		Latency:  itdos.UniformLatency(time.Millisecond, 3*time.Millisecond),
-		Registry: reg,
-		Metrics:  mreg,
-		GM:       itdos.GroupSpec{N: *gmN, F: *gmF},
-		Epsilon:  *epsilon,
+		Seed:               *seed,
+		Latency:            itdos.UniformLatency(time.Millisecond, 3*time.Millisecond),
+		Registry:           reg,
+		Metrics:            mreg,
+		GM:                 itdos.GroupSpec{N: *gmN, F: *gmF},
+		Epsilon:            *epsilon,
+		ITC:                itcCfg,
+		CheckpointInterval: checkpoint,
 		Domains: []itdos.DomainSpec{{
 			Name: "counter", N: *n, F: *f,
 			Profiles: profiles,
@@ -131,8 +148,16 @@ func run(args []string) error {
 		}
 	}
 
-	// Let fault handling settle, then report.
-	sys.Net.Run(3_000_000)
+	// Let fault handling settle, then report. The controller's evaluation
+	// tick (and a recovering replica's re-solicitation timer) re-arm
+	// forever, so with -itc the settle window is bounded by virtual time
+	// rather than by draining the event queue.
+	if *itcOn {
+		sys.Net.RunFor(3 * time.Second)
+		sys.ITC().Stop()
+	} else {
+		sys.Net.Run(3_000_000)
+	}
 	fmt.Println("--------------------------------------------------------------------")
 	if tracer != nil && *trace {
 		// Client 0's first invocation: a cold call, so the tree shows the
@@ -163,6 +188,12 @@ func run(args []string) error {
 	st := sys.Net.Stats()
 	fmt.Printf("traffic: %d msgs, %d bytes; simulated time %v\n",
 		st.MessagesSent, st.BytesSent, sys.Net.Now())
+	if *itcOn {
+		fmt.Printf("itc responses: %d rekeys, %d accusations, %d recoveries started\n",
+			mreg.Counter("itc_rekeys_total").Value(),
+			mreg.Counter("itc_expulsions_total").Value(),
+			mreg.Counter("itc_recoveries_total").Value())
+	}
 	for c := 0; c < *clients; c++ {
 		cli := sys.Client(fmt.Sprintf("client-%d", c))
 		if len(cli.FaultEvents) > 0 {

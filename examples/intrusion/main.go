@@ -6,6 +6,12 @@
 // engine, expels the traitor, and rekeys the communication group so the
 // expelled element is cryptographically locked out (paper §3.5–3.6).
 //
+// Part two closes the loop without any human in it: the same deployment
+// runs with the intrusion-tolerance controller enabled, and a stealthier
+// adversary — one that lies too rarely to cross the expulsion bar — is
+// answered by feedback-shortened key epochs and proactive recovery
+// rotating the foothold back to a clean state.
+//
 // Run with:
 //
 //	go run ./examples/intrusion
@@ -17,6 +23,7 @@ import (
 	"time"
 
 	"itdos"
+	"itdos/internal/fault"
 )
 
 const sensorIface = "IDL:examples/Sensor:1.0"
@@ -118,4 +125,116 @@ func main() {
 
 	fmt.Println("=================================================")
 	fmt.Println("availability and integrity held throughout a successful intrusion.")
+	fmt.Println()
+	automatedResponse(reg, makeServant)
+}
+
+// automatedResponse replays the intrusion with the controller in charge: a
+// slow compromise that never gives the client a clean f+2 proof is met
+// with feedback rekeys and proactive recovery instead of expulsion.
+func automatedResponse(reg *itdos.Registry, makeServant func() itdos.Servant) {
+	// Replica 1 runs behind a fault.Switch so "restart from a clean code
+	// image" (proactive recovery) can also discard the compromise itself.
+	sw := fault.NewSwitch()
+	sys, err := itdos.NewSystem(itdos.Config{
+		Seed:     11,
+		Latency:  itdos.UniformLatency(time.Millisecond, 3*time.Millisecond),
+		Registry: reg,
+		GM:       itdos.GroupSpec{N: 4, F: 1},
+		ITC: &itdos.ITCConfig{
+			HalfLife:          time.Second,
+			BaseRekeyInterval: 4 * time.Second,
+			RecoveryInterval:  1200 * time.Millisecond,
+		},
+		// Recovery completes on checkpoint-driven state transfer; a short
+		// checkpoint interval keeps that brisk at walkthrough call volumes.
+		CheckpointInterval: 4,
+		Domains: []itdos.DomainSpec{{
+			Name: "sensors", N: 4, F: 1,
+			Profiles: []itdos.Profile{
+				itdos.SolarisLike, itdos.LinuxLike, itdos.SolarisLike, itdos.LinuxLike,
+			},
+			Setup: func(member int, a *itdos.Adapter) error {
+				s := makeServant()
+				if member == 1 {
+					s = sw.Wrap(s)
+				}
+				return a.Register("array-1", sensorIface, s)
+			},
+		}},
+		Clients: []itdos.ClientSpec{{Name: "operator"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	ref := itdos.ObjectRef{Domain: "sensors", ObjectKey: "array-1", Interface: sensorIface}
+	op := sys.Client("operator")
+	ctrl := sys.ITC()
+
+	fmt.Println("part two: the automated intrusion-response loop (-itc)")
+	fmt.Println("=================================================")
+
+	read := func() {
+		if _, err := op.CallAndRun(ref, "read", []itdos.Value{int32(4)}, 50_000_000); err != nil {
+			log.Fatal(err)
+		}
+		sys.Net.RunFor(400 * time.Millisecond)
+	}
+	era := func() uint64 {
+		if id, ok := op.ConnTo("sensors"); ok {
+			return op.Conn(id).KeyEra()
+		}
+		return 0
+	}
+
+	for i := 0; i < 3; i++ {
+		read()
+	}
+	fmt.Printf("1. healthy cruise: key era %d, suspicion(r1) = %.2f\n",
+		era(), ctrl.Suspicion("sensors", 1))
+
+	// A stealthy adversary: replica 1 lies on every fifth read — often
+	// enough to leave voter fault reports, but spaced so its decayed
+	// suspicion never reaches the expulsion threshold.
+	sw.Compromise(fault.IntermittentLyingServant(makeServant(), 5, 9999.0))
+	fmt.Println("2. ADVERSARY gains a quiet foothold on sensors/r1: every fifth")
+	fmt.Println("   reading is attacker-chosen (voting masks each one)")
+
+	peak := 0.0
+	track := func() {
+		read()
+		if s := ctrl.Suspicion("sensors", 1); s > peak {
+			peak = s
+		}
+	}
+	for i := 0; i < 8; i++ {
+		track()
+	}
+	fmt.Printf("3. the controller's suspicion for r1 peaked at %.2f — under the\n", peak)
+	fmt.Println("   1.5 expulsion bar, so no accusation is filed; instead the")
+	fmt.Printf("   feedback loop shortened the key epoch (era now %d)\n", era())
+
+	for i := 0; i < 12 && ctrl.Recoveries("sensors", 1) == 0; i++ {
+		track()
+	}
+	if ctrl.Recoveries("sensors", 1) == 0 {
+		log.Fatal("proactive recovery never reached r1")
+	}
+	// The rotation restarted r1 from a clean code image: the foothold is
+	// gone, and the replica resynced its state from its peers.
+	sw.Restore()
+	fmt.Println("4. proactive recovery rotated r1 through a restart-from-clean-state")
+	fmt.Println("   + state resync: the foothold is evicted without an expulsion")
+
+	for i := 0; i < 4; i++ {
+		read()
+	}
+	fmt.Printf("5. suspicion decays toward zero (now %.2f); accused: %v; the\n",
+		ctrl.Suspicion("sensors", 1), ctrl.Accused("sensors", 1))
+	fmt.Println("   domain still fields all four replicas")
+
+	fmt.Println("=================================================")
+	fmt.Println("the response loop handled a sub-threshold intrusion autonomously.")
 }

@@ -14,6 +14,7 @@ import (
 
 	"itdos/internal/cdr"
 	"itdos/internal/idl"
+	"itdos/internal/itc"
 	"itdos/internal/netsim"
 	"itdos/internal/orb"
 	"itdos/internal/replica"
@@ -107,6 +108,9 @@ func All() []Experiment {
 		{"C6", "queue sync vs state transfer", C6},
 		{"C7", "threshold keying exposure", C7},
 		{"C8", "fault detection and expulsion", C8},
+		{"C9", "campaign: slow compromise vs overt collusion", C9},
+		{"C10", "campaign: lying designated responder under churn", C10},
+		{"C11", "campaign: compromised-then-recovered replica", C11},
 		{"A1", "two-thread model under nesting", A1},
 		{"A2", "Group Manager replication", A2},
 		{"A3", "adaptive voting", A3},
@@ -164,6 +168,10 @@ type calcOpts struct {
 	profiles   []replica.Profile
 	epsilon    float64
 	byteVoting bool
+	digest     bool
+	itc        *itc.Config
+	checkpoint uint64
+	servant    func(member int) orb.Servant
 	seed       int64
 }
 
@@ -197,18 +205,24 @@ func newCalcSystem(opts calcOpts) (*replica.System, error) {
 	if opts.seed == 0 {
 		opts.seed = 1
 	}
+	if opts.servant == nil {
+		opts.servant = func(int) orb.Servant { return calcServant() }
+	}
 	return replica.NewSystem(replica.SystemConfig{
-		Seed:       opts.seed,
-		Latency:    netsim.UniformLatency(time.Millisecond, 3*time.Millisecond),
-		Registry:   calcRegistry(),
-		GM:         replica.GroupSpec{N: opts.gmN, F: opts.gmF},
-		Epsilon:    opts.epsilon,
-		ByteVoting: opts.byteVoting,
+		Seed:               opts.seed,
+		Latency:            netsim.UniformLatency(time.Millisecond, 3*time.Millisecond),
+		Registry:           calcRegistry(),
+		GM:                 replica.GroupSpec{N: opts.gmN, F: opts.gmF},
+		Epsilon:            opts.epsilon,
+		ByteVoting:         opts.byteVoting,
+		DigestReplies:      opts.digest,
+		ITC:                opts.itc,
+		CheckpointInterval: opts.checkpoint,
 		Domains: []replica.DomainSpec{{
 			Name: "calc", N: opts.n, F: opts.f,
 			Profiles: opts.profiles,
 			Setup: func(member int, a *orb.Adapter) error {
-				return a.Register("calc", calcIface, calcServant())
+				return a.Register("calc", calcIface, opts.servant(member))
 			},
 		}},
 		Clients: []replica.ClientSpec{{Name: "alice"}},

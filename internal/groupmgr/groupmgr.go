@@ -68,6 +68,18 @@ type Config struct {
 	// MemberOf resolves an authenticated identity to its domain and member
 	// index (clients resolve to their own name with member 0).
 	MemberOf func(identity string) (domain string, member int, ok bool)
+	// Controller, when non-empty, names the authenticated identity of the
+	// intrusion-tolerance controller. Only that identity may send
+	// rekey_requests, and its change_requests are accepted from off the
+	// connection (the proof is transferable: every item is signed by an
+	// element of the accused's domain, so validation does not depend on who
+	// relays it). Empty disables both paths — the legacy configuration.
+	Controller string
+	// OnRejectedProof, if non-nil, is called when a change_request proof
+	// fails validation, with the authenticated accuser. A rejected proof is
+	// itself evidence — of a malicious or confused accuser — and feeds the
+	// controller's suspicion state.
+	OnRejectedProof func(accuserDomain string, accuserMember int)
 	// Metrics, if non-nil, receives Group Manager control-plane counters.
 	Metrics *obs.Registry
 }
@@ -171,7 +183,28 @@ func (m *Manager) HandleDelivery(sender string, data []byte) {
 		m.onOpenRequest(sender, env)
 	case smiop.KindChangeRequest:
 		m.onChangeRequest(sender, env)
+	case smiop.KindRekeyRequest:
+		m.onRekeyRequest(sender, env)
 	}
+}
+
+// onRekeyRequest handles a controller-initiated rekey: every connection
+// the named domain participates in moves to a fresh era, with no
+// membership change. Because the request arrives in the Group Manager's
+// total order, every correct element advances the same eras and draws the
+// same common inputs.
+func (m *Manager) onRekeyRequest(sender string, env *smiop.Envelope) {
+	req, err := smiop.DecodeRekeyRequest(env.Payload)
+	if err != nil {
+		return
+	}
+	if m.cfg.Controller == "" || sender != m.cfg.Controller {
+		return // only the configured controller may schedule rekeys
+	}
+	if _, ok := m.cfg.Domains[req.Domain]; !ok {
+		return
+	}
+	m.rekeyDomain(req.Domain)
 }
 
 func (m *Manager) onOpenRequest(sender string, env *smiop.Envelope) {
@@ -307,18 +340,23 @@ func (m *Manager) onChangeRequest(sender string, env *smiop.Envelope) {
 	if rec.Initiator != cr.TargetDomain && rec.Target != cr.TargetDomain {
 		return // the accused's domain is not on this connection
 	}
-	if rec.Initiator != accuserDomain && rec.Target != accuserDomain {
+	fromController := m.cfg.Controller != "" && sender == m.cfg.Controller
+	if !fromController && rec.Initiator != accuserDomain && rec.Target != accuserDomain {
 		return // the accuser is not on this connection either
 	}
 
 	accuserInfo := m.cfg.Domains[accuserDomain]
-	if accuserInfo.N == 1 {
-		// Singleton accuser: a malicious client could try to expel correct
+	if accuserInfo.N == 1 || fromController {
+		// Singleton accuser (or the controller relaying a client's
+		// evidence): a malicious client could try to expel correct
 		// processes, so proof is mandatory and voted on unmarshalled data
 		// (paper §3.6).
 		if !m.validateProof(cr, targetInfo) {
 			m.RejectedProofs++
 			m.mRejectedProofs.Inc()
+			if m.cfg.OnRejectedProof != nil {
+				m.cfg.OnRejectedProof(accuserDomain, accuserMember)
+			}
 			return
 		}
 		m.expel(cr.TargetDomain, int(cr.Accused), true)
@@ -509,9 +547,14 @@ func (m *Manager) expel(domain string, member int, byProof bool) {
 	m.expelled[domain][member] = true
 	m.Expulsions = append(m.Expulsions, Expulsion{Domain: domain, Member: member, ByProof: byProof})
 	m.mExpulsions.Inc()
+	m.rekeyDomain(domain)
+}
 
-	// Rekey every connection the domain participates in, in deterministic
-	// (id) order.
+// rekeyDomain moves every connection the domain participates in to a new
+// era with fresh keys, in deterministic (id) order. Share distribution
+// honours the current expelled set, so after an expulsion the keyed-out
+// member never sees the new era.
+func (m *Manager) rekeyDomain(domain string) {
 	ids := make([]uint64, 0, len(m.connsByID))
 	for id, rec := range m.connsByID {
 		if rec.Initiator == domain || rec.Target == domain {

@@ -89,9 +89,13 @@ func newGMHarness(t *testing.T) *gmHarness {
 				pub, ok := h.pubs[identity]
 				return ok && len(sig) == ed25519.SignatureSize && ed25519.Verify(pub, msg, sig)
 			},
+			Controller: "itc",
 			MemberOf: func(identity string) (string, int, bool) {
 				if identity == "alice" {
 					return "alice", 0, true
+				}
+				if identity == "itc" {
+					return "itc", 0, true
 				}
 				var d string
 				var m int
@@ -397,6 +401,112 @@ func TestChangeRequestFromUninvolvedDomainIgnored(t *testing.T) {
 	mgr.HandleDelivery("web/r1", changeEnvelope(cr, "web", 1))
 	if mgr.IsExpelled("bank", 1) {
 		t.Fatal("uninvolved domain expelled a member")
+	}
+}
+
+func rekeyEnvelope(domain string) []byte {
+	env := &smiop.Envelope{
+		Kind:      smiop.KindRekeyRequest,
+		SrcDomain: "itc",
+		Payload:   (&smiop.RekeyRequest{Domain: domain}).Encode(),
+	}
+	return env.Encode()
+}
+
+// TestRekeyRacingExpulsionSameEpoch covers a controller rekey_request
+// submitted concurrently with an expulsion change_request for the same
+// domain in the same key epoch. The Group Manager's total order serialises
+// the race one way or the other; under either serialisation every element
+// must land on the same coherent outcome — identical expelled set, final
+// era, and common input — and the expelled member must be keyed out of
+// every era minted at or after its expulsion. The two interleavings run as
+// parallel subtests so the race detector also sees concurrent Manager
+// instances exercising the shared dprf/smiop code paths.
+func TestRekeyRacingExpulsionSameEpoch(t *testing.T) {
+	interleavings := []struct {
+		name  string
+		first string // which request the total order puts first
+	}{
+		{"rekey-then-expel", "rekey"},
+		{"expel-then-rekey", "expel"},
+	}
+	for _, il := range interleavings {
+		il := il
+		t.Run(il.name, func(t *testing.T) {
+			t.Parallel()
+			h := newGMHarness(t)
+			cr := &smiop.ChangeRequest{
+				TargetDomain: "bank", Accused: 2, ConnID: 1, RequestID: 9, Reply: true,
+				Interface: "IDL:Calc:1.0", Operation: "add",
+				Proof: h.buildProof(t, 1, 9, 2, 42.0, 666.0),
+			}
+			msgs := [][2]interface{}{
+				{"itc", rekeyEnvelope("bank")},
+				{"alice", changeEnvelope(cr, "alice", 0)},
+			}
+			if il.first == "expel" {
+				msgs[0], msgs[1] = msgs[1], msgs[0]
+			}
+			for _, mgr := range h.mgrs {
+				mgr.HandleDelivery("alice", openEnvelope("alice", "bank", "alice", 0))
+			}
+			for j := range h.trans {
+				h.trans[j].sent = nil
+			}
+			for _, m := range msgs {
+				for _, mgr := range h.mgrs {
+					mgr.HandleDelivery(m[0].(string), m[1].([]byte))
+				}
+			}
+			// One coherent outcome on every element: member 2 expelled, the
+			// connection advanced exactly two eras (one per request), and all
+			// elements drew the same final common input.
+			ref := h.mgrs[0].connsByID[1]
+			if ref.Era != 2 {
+				t.Fatalf("final era = %d, want 2", ref.Era)
+			}
+			for j, mgr := range h.mgrs {
+				if !mgr.IsExpelled("bank", 2) {
+					t.Fatalf("gm %d: member not expelled", j)
+				}
+				if len(mgr.Expulsions) != 1 {
+					t.Fatalf("gm %d: expulsions = %+v", j, mgr.Expulsions)
+				}
+				rec := mgr.connsByID[1]
+				if rec.Era != ref.Era || string(rec.X) != string(ref.X) {
+					t.Fatalf("gm %d: era/common-input diverged (era %d vs %d)", j, rec.Era, ref.Era)
+				}
+			}
+			// The expelled member holds no share for any era minted at or
+			// after its expulsion; correct members hold every era's share.
+			expelledFrom := uint64(1) // expel first: eras 1 and 2 exclude it
+			if il.first == "rekey" {
+				expelledFrom = 2 // rekey minted era 1 before the expulsion
+			}
+			for j, tr := range h.trans {
+				for _, s := range tr.sent {
+					if s.domain != "bank" {
+						continue
+					}
+					env, _ := smiop.DecodeEnvelope(s.payload)
+					b, err := smiop.DecodeShareBundle(env.Payload)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if b.Era >= expelledFrom && len(b.Shares[2]) != 0 {
+						t.Fatalf("gm %d: expelled member got a share for era %d", j, b.Era)
+					}
+					if b.Era < expelledFrom && len(b.Shares[2]) == 0 {
+						t.Fatalf("gm %d: member keyed out before expulsion (era %d)", j, b.Era)
+					}
+					for _, m := range []int{0, 1, 3} {
+						if len(b.Shares[m]) == 0 {
+							t.Fatalf("gm %d: correct member %d missing era-%d share", j, m, b.Era)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

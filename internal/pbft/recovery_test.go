@@ -1,0 +1,102 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"itdos/internal/netsim"
+)
+
+// TestProactiveRecoveryCompletesUnderTraffic: a Recover()ed backup rebuilds
+// from a peer checkpoint and OnRecovered fires only once it has executed a
+// normally committed entry beyond it — all without disturbing the view.
+func TestProactiveRecoveryCompletesUnderTraffic(t *testing.T) {
+	h := newHarness(t, 4, 1, 11)
+	for i := 0; i < 9; i++ { // stable checkpoints at 4 and 8
+		h.invoke(t, []byte(fmt.Sprintf("op-%d", i)))
+	}
+	rep := h.group.Replicas[2]
+	var recoveredAt uint64
+	rep.OnRecovered = func(seq uint64) { recoveredAt = seq }
+	rep.Recover()
+	if !rep.Recovering() {
+		t.Fatal("Recover did not mark the replica recovering")
+	}
+	// Ordering traffic both feeds the catch-up state transfer and provides
+	// the committed execution that completes the recovery.
+	for i := 9; i < 14; i++ {
+		h.invoke(t, []byte(fmt.Sprintf("op-%d", i)))
+	}
+	if err := h.net.RunUntil(func() bool { return !rep.Recovering() }, 2_000_000); err != nil {
+		t.Fatalf("recovery never completed: %v", err)
+	}
+	if recoveredAt <= 8 {
+		t.Fatalf("OnRecovered seq = %d, want > the restored checkpoint (8)", recoveredAt)
+	}
+	for i, r := range h.group.Replicas {
+		if r.View() != 0 {
+			t.Errorf("replica %d in view %d: recovery caused a view change", i, r.View())
+		}
+	}
+	h.net.Run(1_000_000)
+	h.auditOrder(t, false)
+	if got := len(h.apps[2].ops); got < 14 {
+		t.Fatalf("recovered replica executed %d ops, want 14", got)
+	}
+}
+
+// TestRecoveringReplicaDoesNotStartViewChanges: while starved of state
+// data, a recovering replica's post-restore history gap keeps its
+// view-change timer firing — and it must re-solicit state instead of
+// escalating the view, because it cannot tell a faulty primary from its
+// own missing history.
+func TestRecoveringReplicaDoesNotStartViewChanges(t *testing.T) {
+	h := newHarness(t, 4, 1, 12)
+	for i := 0; i < 9; i++ {
+		h.invoke(t, []byte(fmt.Sprintf("op-%d", i)))
+	}
+	rep := h.group.Replicas[2]
+	rep.Recover()
+	// Starve the recovering replica of StateData so the gap persists while
+	// live pre-prepares keep arming its timer.
+	h.net.AddFilter(func(from, to netsim.NodeID, payload []byte) ([]byte, bool) {
+		if to != h.group.Addrs[2] {
+			return nil, false
+		}
+		if m, err := Decode(payload); err == nil {
+			if _, ok := m.(*StateData); ok {
+				return nil, true
+			}
+		}
+		return nil, false
+	})
+	for i := 9; i < 13; i++ {
+		h.invoke(t, []byte(fmt.Sprintf("op-%d", i)))
+	}
+	h.net.RunFor(time.Second) // several 200ms view-timeout periods
+	if !rep.Recovering() {
+		t.Fatal("replica recovered without state data")
+	}
+	if rep.View() != 0 || rep.InViewChange() {
+		t.Fatalf("recovering replica escalated: view=%d inViewChange=%v",
+			rep.View(), rep.InViewChange())
+	}
+	for i, r := range h.group.Replicas {
+		if r.View() != 0 {
+			t.Errorf("replica %d dragged to view %d", i, r.View())
+		}
+	}
+	// Heal: the periodic re-solicitation now gets an answer, and the next
+	// committed execution completes the recovery in the original view.
+	h.net.ClearFilters()
+	h.invoke(t, []byte("resume"))
+	if err := h.net.RunUntil(func() bool { return !rep.Recovering() }, 2_000_000); err != nil {
+		t.Fatalf("recovery never completed after heal: %v", err)
+	}
+	if rep.View() != 0 {
+		t.Fatalf("recovery completed in view %d, want 0", rep.View())
+	}
+	h.net.Run(1_000_000)
+	h.auditOrder(t, false)
+}

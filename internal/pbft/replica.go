@@ -196,8 +196,17 @@ type Replica struct {
 	// deliver ordered messages and by tests to audit ordering).
 	OnExecute func(seq uint64, req *Request, result []byte)
 
+	// OnRecovered, if set, is called when a recovery started by Recover
+	// completes: the replica has restored a proven checkpoint from its
+	// peers AND executed a normally committed entry on top of it, i.e.
+	// it is contiguous with the live ordering stream again.
+	OnRecovered func(seq uint64)
+
 	// fetching dedupes concurrent state-transfer attempts.
 	fetching bool
+	// recovering is set by Recover and cleared when the post-recovery
+	// state transfer lands.
+	recovering bool
 
 	// Protocol-phase counters (nil-safe handles; nil when unobserved).
 	mPrePrepares    *obs.Counter
@@ -211,6 +220,7 @@ type Replica struct {
 	mBatches        *obs.Counter
 	mBatchedReqs    *obs.Counter
 	mReadOnlyBypass *obs.Counter
+	mRecoveries     *obs.Counter
 	hBatchSize      *obs.Histogram
 	gBacklog        *obs.Gauge
 }
@@ -247,6 +257,7 @@ func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
 		r.mBatches = m.Counter("pbft_batches_total", label)
 		r.mBatchedReqs = m.Counter("pbft_batched_requests_total", label)
 		r.mReadOnlyBypass = m.Counter("pbft_readonly_bypass_total", label)
+		r.mRecoveries = m.Counter("pbft_recoveries_total", label)
 		r.hBatchSize = m.Histogram("pbft_batch_size",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}, label)
 		r.gBacklog = m.Gauge("pbft_primary_backlog", label)
@@ -797,6 +808,16 @@ func (r *Replica) executeEntry(seq uint64, en *entry) {
 	if seq%r.cfg.CheckpointInterval == 0 {
 		r.takeCheckpoint(seq)
 	}
+	if r.recovering {
+		// Executing a normally committed entry proves the replica is
+		// contiguous with the live ordering stream again — the real end
+		// of recovery (a restored checkpoint alone can still be behind
+		// requests ordered after it was taken).
+		r.recovering = false
+		if r.OnRecovered != nil {
+			r.OnRecovered(seq)
+		}
+	}
 }
 
 // stateBytes canonically serialises replica state: the application snapshot
@@ -967,6 +988,59 @@ func (r *Replica) stabilise(seq uint64, proof []*Checkpoint) {
 
 // --- state transfer ---
 
+// Recover models a proactive restart from clean state (SecureSMART-style
+// periodic hygiene): every piece of soft ordering state — the message
+// log, collected checkpoints, snapshots, client table, and application
+// state — is discarded, and the replica rebuilds from a proven peer
+// checkpoint. Only the configuration and identity key survive, as they
+// would a real restart from read-only storage. The replica immediately
+// solicits state from its peers; if none has a stable checkpoint yet, the
+// next checkpoint quorum it observes triggers the normal lag-driven state
+// transfer instead. OnRecovered fires once the replica has both restored
+// a proven checkpoint and executed a normally committed entry beyond it;
+// until then the replica abstains from initiating view changes (it cannot
+// distinguish a faulty primary from its own missing history) and the
+// group's liveness rests on the non-recovering 2f+1. A recovery therefore
+// completes only while the group is ordering traffic.
+//
+// The caller (the intrusion-tolerance controller) is responsible for
+// rotation discipline: at most f replicas of a group recovering at once,
+// and not the active primary, so the remaining 2f+1 keep the watermark
+// window live while the recovering replica is out.
+func (r *Replica) Recover() {
+	r.mRecoveries.Inc()
+	r.recovering = true
+	// r.view deliberately survives; peers' traffic re-teaches it anyway.
+	r.seq = 0
+	r.lastExec = 0
+	r.lowWater = 0
+	r.log = make(map[uint64]*entry)
+	r.checkpoints = make(map[uint64]map[ReplicaID]*Checkpoint)
+	r.stableProof = nil
+	r.clientTable = make(map[string]*clientRecord)
+	r.outstanding = make(map[Digest]*Request)
+	r.buffered = nil
+	r.pending = nil
+	r.pendingSet = make(map[Digest]bool)
+	r.ppIndex = make(map[Digest]uint64)
+	r.viewChanges = make(map[uint64]map[ReplicaID]*ViewChange)
+	r.inViewChange = false
+	r.fetching = false
+	if ra, ok := r.app.(interface{ Reset() }); ok {
+		ra.Reset()
+	}
+	r.snapshots = map[uint64][]byte{0: r.stateBytes()}
+	// Ask every peer for its stable checkpoint. fetching stays false so a
+	// later checkpoint quorum can still drive requestState if nobody
+	// answers (e.g. no checkpoint has stabilised yet).
+	r.mStateTransfers.Inc()
+	r.broadcast(&FetchState{Seq: 1, Replica: r.cfg.ID})
+}
+
+// Recovering reports whether a Recover-initiated rebuild is still in
+// progress.
+func (r *Replica) Recovering() bool { return r.recovering }
+
 func (r *Replica) requestState(seq uint64, proof []*Checkpoint) {
 	if r.fetching {
 		return
@@ -1018,6 +1092,12 @@ func (r *Replica) onStateData(sd *StateData) {
 	// Anything we thought was outstanding may have executed remotely.
 	r.pruneOutstanding()
 	r.tryExecute()
+	// Note recovery is NOT declared complete here: a restored checkpoint
+	// proves nothing about requests ordered since it was taken, and a
+	// replica that resumed view-change duty while still gapped would
+	// start spurious view changes. executeEntry clears recovering on the
+	// first normally committed execution — definitive proof the replica
+	// is contiguous with the live ordering stream again.
 }
 
 // verifyCheckpointProof checks a 2f+1 matching, correctly signed
@@ -1071,6 +1151,18 @@ const maxViewTimeout = 30 * time.Second
 // HandleTimer processes a view-change timer expiry.
 func (r *Replica) HandleTimer() {
 	r.timerArmed = false
+	if r.recovering {
+		// A recovering replica cannot tell a faulty primary from its own
+		// missing history (requests ordered between its last restored
+		// checkpoint and the live sequence are gone from its log), so a
+		// timeout here must not disturb the view — the rotation
+		// discipline keeps 2f+1 non-recovering replicas whose timers
+		// guard liveness. Solicit state again and keep waiting: peers
+		// answer once their stable checkpoint passes our execution point.
+		r.broadcast(&FetchState{Seq: r.lastExec + 1, Replica: r.cfg.ID})
+		r.armTimerAlways()
+		return
+	}
 	r.vcTimeout *= 2
 	if r.vcTimeout > maxViewTimeout {
 		r.vcTimeout = maxViewTimeout

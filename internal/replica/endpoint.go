@@ -124,9 +124,10 @@ type endpoint struct {
 	onPostDecision func(cs *connState, env *smiop.Envelope)
 
 	// Connection-cache counters (nil-safe; nil when unobserved).
-	mConnHits   *obs.Counter
-	mConnMisses *obs.Counter
-	mFragsOut   *obs.Counter
+	mConnHits    *obs.Counter
+	mConnMisses  *obs.Counter
+	mConnRetries *obs.Counter
+	mFragsOut    *obs.Counter
 
 	// Reply fast-path counters.
 	mDigestCalls    *obs.Counter
@@ -150,6 +151,7 @@ func (ep *endpoint) init(sys *System, identity string, local smiop.PeerInfo, mem
 	if r := sys.cfg.Metrics; r != nil {
 		ep.mConnHits = r.Counter("conn_cache_hits_total")
 		ep.mConnMisses = r.Counter("conn_cache_misses_total")
+		ep.mConnRetries = r.Counter("smiop_conn_retries_total")
 		ep.mFragsOut = r.Counter("smiop_fragments_total", "dir=out")
 		ep.mDigestCalls = r.Counter("digest_replies_armed_total")
 		ep.mReadOnlyCalls = r.Counter("readonly_fastpath_total")
@@ -395,6 +397,13 @@ func (ep *endpoint) awaitReply(cs *connState, ref orb.ObjectRef, req *giop.Reque
 				// divergence, silent responder): re-request full replies
 				// under the SAME id — elements answer from their reply
 				// caches, preserving at-most-once execution.
+				if ctrl := ep.sys.itc; ctrl != nil {
+					// A stalled digest vote implicates its designated
+					// responder without proving anything — weak signal.
+					if dv := cs.stream.Voter().DigestVoter(); dv != nil {
+						ctrl.ObserveFallback(cs.peer.Name, dv.Responder())
+					}
+				}
 				digestMode = false
 				req.DigestOK = false
 				if err := cs.stream.RetryReply(req.RequestID, ref.Interface, req.Operation); err != nil {
@@ -436,10 +445,35 @@ func (ep *endpoint) ensureConn(peer string) (*connState, error) {
 		SrcMember: uint32(ep.member),
 		Payload:   open.Encode(),
 	}
+	payload := env.Encode()
 	osp := ep.tracer().Start("gm.open_request")
-	ep.sendOrdered(GMDomainName, env.Encode())
+	ep.sendOrdered(GMDomainName, payload)
 	osp.End()
-	switch res := ep.parkWait(&waitState{kind: waitConn, peer: peer}).(type) {
+	// Establishment liveness: the open_request rides the retransmitting
+	// PBFT client, but the Group Manager's share bundles to a singleton
+	// travel the direct (lossy) channel — a lost bundle would park this
+	// thread forever. Retransmit the open_request with capped exponential
+	// backoff; the Group Manager's handling is idempotent and simply
+	// redistributes the current era's shares. The timer never fires on a
+	// healthy network (establishment completes well inside the base
+	// delay), and a stopped virtual timer pops as a schedule-neutral no-op.
+	var retryTimer netsim.Timer
+	var arm func(attempt int)
+	arm = func(attempt int) {
+		d := smiop.RetryBackoff(attempt, 2*ep.sys.cfg.SendTimeout, 16*ep.sys.cfg.SendTimeout)
+		retryTimer = ep.sys.Net.After(d, func() {
+			if w := ep.waiting; w == nil || w.kind != waitConn || w.peer != peer {
+				return
+			}
+			ep.mConnRetries.Inc()
+			ep.sendOrdered(GMDomainName, payload)
+			arm(attempt + 1)
+		})
+	}
+	arm(0)
+	res := ep.parkWait(&waitState{kind: waitConn, peer: peer})
+	retryTimer.Stop()
+	switch res := res.(type) {
 	case *connState:
 		return res, nil
 	case callFailure:
@@ -529,7 +563,6 @@ func (ep *endpoint) fileChangeRequest(cs *connState, report vote.FaultReport) {
 	if cs.reported[report.Member] {
 		return
 	}
-	cs.reported[report.Member] = true
 
 	cr := &smiop.ChangeRequest{
 		TargetDomain: cs.peer.Name,
@@ -554,7 +587,29 @@ func (ep *endpoint) fileChangeRequest(cs *connState, report vote.FaultReport) {
 				cr.Proof = append(cr.Proof, item)
 			}
 		}
+		// The Group Manager's §3.6 bar is f+2 proof items (the accused plus
+		// f+1 agreeing signed messages). Digest-phase reports cannot meet it
+		// — their supporters are bare digests, not signed full messages.
+		provable := len(cr.Proof) >= cs.peer.F+2
+		if ctrl := ep.sys.itc; ctrl != nil {
+			// Graduated response: the observation feeds the controller's
+			// suspicion state; the controller files the retained evidence
+			// once the member crosses the expulsion bar. cs.reported stays
+			// clear — repetition is the signal.
+			var acc *smiop.ChangeRequest
+			if provable {
+				acc = cr
+			}
+			ctrl.ObserveFault(cs.peer.Name, report.Member, acc)
+			return
+		}
+		if !provable {
+			// Filing would only be rejected; skip without marking the
+			// member reported so a later provable report still files.
+			return
+		}
 	}
+	cs.reported[report.Member] = true
 	if debugCR {
 		for _, item := range cr.Proof {
 			signing := smiop.DataSigningBytes(cr.ConnID, cr.RequestID, cr.TargetDomain,
@@ -674,6 +729,14 @@ func (ep *endpoint) handleBundle(b *smiop.ShareBundle,
 		return // wait for more shares
 	}
 	ep.GMShareFaults += len(corrupt)
+	if ctrl := ep.sys.itc; ctrl != nil {
+		// Attribute tampered shares to the issuing GM elements: weak,
+		// non-transferable evidence (the combiner cannot prove the seal's
+		// contents to a third party), so it raises suspicion only.
+		for _, gm := range corrupt {
+			ctrl.ObserveShareTamper(gm)
+		}
+	}
 	delete(ep.collectors, key)
 	commKey, err := seckey.KeyFromBytes(combined[:])
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"itdos/internal/dprf"
 	"itdos/internal/groupmgr"
 	"itdos/internal/idl"
+	"itdos/internal/itc"
 	"itdos/internal/netsim"
 	"itdos/internal/obs"
 	"itdos/internal/orb"
@@ -112,6 +113,15 @@ type SystemConfig struct {
 	// quorum failure. Off by default.
 	ReadOnlyFastPath bool
 
+	// ITC, when non-nil, enables the intrusion-tolerance controller: a
+	// deployment-level singleton that turns the stack's detection signals
+	// (voter fault reports, fallback attributions, tampered shares,
+	// rejected proofs) into graduated responses — feedback-scheduled
+	// rekeys, evidence-gated expulsions, and proactive recovery — through
+	// the Group Manager (see package itc). Nil keeps every legacy code
+	// path and wire stream byte-identical.
+	ITC *itc.Config
+
 	// Metrics, if non-nil, receives counters and histograms from every
 	// layer of the stack (ORB, SMIOP, SRM/PBFT, voting, Group Manager).
 	// Nil disables metrics at near-zero cost (one nil check per event).
@@ -147,6 +157,9 @@ func (c *SystemConfig) fill() error {
 		c.SendTimeout = 150 * time.Millisecond
 	}
 	names := map[string]bool{GMDomainName: true}
+	if c.ITC != nil {
+		names[itc.Identity] = true // reserve the controller identity
+	}
 	for _, d := range c.Domains {
 		if names[d.Name] || strings.ContainsAny(d.Name, "/|") {
 			return fmt.Errorf("replica: invalid or duplicate domain name %q", d.Name)
@@ -193,6 +206,9 @@ type System struct {
 	gmInfo     smiop.PeerInfo
 	GMManagers []*groupmgr.Manager
 
+	// itc is the intrusion-tolerance controller (nil when cfg.ITC is nil).
+	itc *itc.Controller
+
 	// tracer is set by EnableTracing; nil otherwise (tracing off).
 	tracer *obs.Tracer
 }
@@ -231,6 +247,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			return nil, err
 		}
 	}
+	if cfg.ITC != nil {
+		if err := sys.addIdentity(itc.Identity); err != nil {
+			return nil, err
+		}
+	}
 
 	if err := sys.buildGM(); err != nil {
 		return nil, err
@@ -242,6 +263,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 	for _, spec := range cfg.Clients {
 		if err := sys.buildClient(spec); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ITC != nil {
+		if err := sys.buildITC(); err != nil {
 			return nil, err
 		}
 	}
@@ -316,6 +342,11 @@ func (sys *System) peerInfo(name string) (smiop.PeerInfo, bool) {
 
 // memberOf resolves a global identity back to (domain, member).
 func (sys *System) memberOf(identity string) (string, int, bool) {
+	if sys.cfg.ITC != nil && identity == itc.Identity {
+		// The controller resolves like a singleton so GM accusation
+		// handling can authenticate it; it is not a connection endpoint.
+		return itc.Identity, 0, true
+	}
 	if _, ok := sys.clients[identity]; ok {
 		return identity, 0, true
 	}
@@ -402,9 +433,25 @@ func (sys *System) buildGM() error {
 	for _, cl := range sys.cfg.Clients {
 		domainTable[cl.Name] = smiop.PeerInfo{Name: cl.Name, N: 1, F: 0}
 	}
+	controller := ""
+	if sys.cfg.ITC != nil {
+		controller = itc.Identity
+	}
 	for j := 0; j < sys.gmInfo.N; j++ {
 		j := j
 		gmIdentity := GMElementIdentity(j)
+		var onRejected func(string, int)
+		if sys.cfg.ITC != nil && j == 0 {
+			// One GM element reports rejected proofs to the controller:
+			// every correct element rejects the same requests (total
+			// order), so element 0 is representative and the signal is not
+			// multiplied by n_gm.
+			onRejected = func(accuserDomain string, accuserMember int) {
+				if sys.itc != nil && accuserDomain != itc.Identity {
+					sys.itc.ObserveRejectedProof(accuserDomain, accuserMember)
+				}
+			}
+		}
 		mgr, err := groupmgr.New(groupmgr.Config{
 			Index:      j,
 			Params:     sys.gmParams(),
@@ -417,9 +464,11 @@ func (sys *System) buildGM() error {
 			SealShare: func(recipient string, connID, era uint64, share []byte) ([]byte, error) {
 				return sys.sealShare(gmIdentity, recipient, connID, era, share)
 			},
-			Verify:   sys.verifyIdentity,
-			MemberOf: sys.memberOf,
-			Metrics:  sys.cfg.Metrics,
+			Verify:          sys.verifyIdentity,
+			MemberOf:        sys.memberOf,
+			Controller:      controller,
+			OnRejectedProof: onRejected,
+			Metrics:         sys.cfg.Metrics,
 		})
 		if err != nil {
 			return err
@@ -580,6 +629,9 @@ func (sys *System) EnableTracing() *obs.Tracer {
 	}
 	for _, cl := range sys.clients {
 		cl.orb.Tracer = sys.tracer
+	}
+	if sys.itc != nil {
+		sys.itc.SetTracer(sys.tracer)
 	}
 	return sys.tracer
 }

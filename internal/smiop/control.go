@@ -2,6 +2,7 @@ package smiop
 
 import (
 	"fmt"
+	"time"
 
 	"itdos/internal/cdr"
 )
@@ -37,6 +38,54 @@ func DecodeOpenRequest(buf []byte) (*OpenRequest, error) {
 		return nil, fmt.Errorf("smiop: open request: %w", err)
 	}
 	return &r, nil
+}
+
+// RekeyRequest asks the Group Manager to advance every connection a
+// domain participates in to a fresh key era without expelling anyone. It
+// is the feedback-scheduled rekey of the intrusion-tolerance controller:
+// rising suspicion shortens the key epoch instead of waiting for proof
+// that would justify expulsion. The Group Manager only honours the
+// request when the enclosing envelope's authenticated sender is the
+// configured controller identity.
+type RekeyRequest struct {
+	// Domain is the replication domain (or client pseudo-domain) whose
+	// connections should move to a new era.
+	Domain string
+}
+
+// Encode serialises the request.
+func (r *RekeyRequest) Encode() []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteString(r.Domain)
+	return e.Bytes()
+}
+
+// DecodeRekeyRequest parses a RekeyRequest payload.
+func DecodeRekeyRequest(buf []byte) (*RekeyRequest, error) {
+	d := cdr.NewDecoder(buf, cdr.BigEndian)
+	var r RekeyRequest
+	var err error
+	if r.Domain, err = d.ReadString(); err != nil {
+		return nil, fmt.Errorf("smiop: rekey request: %w", err)
+	}
+	return &r, nil
+}
+
+// RetryBackoff returns the delay before the attempt-th retransmission of
+// a connection-establishment request (attempt counts from 0): base
+// doubled per attempt and capped at cap. Establishment is a multicast
+// into the Group Manager's ordering group, so a lost or partitioned
+// open_request would otherwise park the caller forever — the paper's
+// live transport retransmits; the simulator must too.
+func RetryBackoff(attempt int, base, cap time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		return cap
+	}
+	return d
 }
 
 func encodePeerInfo(e *cdr.Encoder, p PeerInfo) {

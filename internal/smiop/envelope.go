@@ -48,6 +48,11 @@ const (
 	// heterogeneous encodings). Only emitted when digest replies are
 	// enabled, so legacy streams never carry it.
 	KindDigest
+	// KindRekeyRequest asks the Group Manager to move every connection a
+	// domain participates in to a fresh era without expelling anyone. Only
+	// the configured intrusion-tolerance controller may send it, so legacy
+	// systems (no controller) never carry it.
+	KindRekeyRequest
 )
 
 // String names the envelope kind.
@@ -67,6 +72,8 @@ func (k Kind) String() string {
 		return "CLOSE"
 	case KindDigest:
 		return "DIGEST"
+	case KindRekeyRequest:
+		return "REKEY_REQUEST"
 	default:
 		return fmt.Sprintf("Kind(%d)", byte(k))
 	}
@@ -119,7 +126,7 @@ func DecodeEnvelope(buf []byte) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smiop: envelope: %w", err)
 	}
-	if kind == 0 || kind > byte(KindDigest) {
+	if kind == 0 || kind > byte(KindRekeyRequest) {
 		return nil, fmt.Errorf("smiop: unknown envelope kind %d", kind)
 	}
 	env := &Envelope{Kind: Kind(kind)}

@@ -144,6 +144,13 @@ type Stream struct {
 	// fallbackFired ensures OnFallback fires at most once per armed vote.
 	fallbackFired bool
 
+	// carried holds full replies captured from an abandoned digest vote,
+	// to be replayed into the redone full vote for carriedID. Injection is
+	// deferred to the next Deliver so a decision can never fire while the
+	// caller of RetryReply is still arranging to wait for it.
+	carried   []vote.Submission
+	carriedID uint64
+
 	// Delivery counters (nil-safe; nil when unobserved).
 	mEnvelopes   *obs.Counter
 	mDiscarded   *obs.Counter
@@ -254,9 +261,20 @@ func (s *Stream) ExpectReadOnlyReply(requestID uint64, iface, op string) error {
 // fallback path re-requesting full replies for the same request.
 func (s *Stream) RetryReply(requestID uint64, iface, op string) error {
 	s.expectedIface, s.expectedOp = iface, op
+	// Full replies already accepted by an abandoned digest vote (signature-
+	// verified signed payloads) carry over into the redone full vote: a
+	// lying responder's reply then re-counts — and re-conflicts — without
+	// being re-sent.
+	var carry []vote.Submission
+	if dv := s.cv.DigestVoter(); dv != nil && !s.cfg.ByteVoting {
+		for _, fs := range dv.FullSubmissions() {
+			carry = append(carry, vote.Submission{Member: fs.Member, Value: fs.Full, Raw: fs.Raw})
+		}
+	}
 	if err := s.cv.Redo(requestID, s.comparator()); err != nil {
 		return err
 	}
+	s.carried, s.carriedID = carry, requestID
 	s.armed()
 	return nil
 }
@@ -332,6 +350,9 @@ func (s *Stream) Deliver(env *Envelope) error {
 		s.mDiscarded.Inc()
 		return nil
 	}
+	if err := s.injectCarried(env.RequestID); err != nil {
+		return err
+	}
 	// Fragmented messages reassemble before verification; incomplete
 	// messages simply wait for their remaining fragments.
 	plaintext, err = s.frags.add(env, plaintext)
@@ -399,32 +420,69 @@ func (s *Stream) Deliver(env *Envelope) error {
 		s.OnPostDecision(env, pv)
 	}
 	if dec != nil {
-		s.markVoteClosed()
-	}
-	if dec != nil && s.OnMessage != nil {
-		s.mDecisions.Inc()
-		s.hReceived.Observe(float64(dec.Received))
-		var val *MessageVal
-		if s.cfg.ByteVoting {
-			rawPayload, err := DecodeSignedPayload(dec.Raw)
-			if err != nil {
-				return err
-			}
-			val, err = s.buildVal(rawPayload.GIOP)
-			if err != nil {
-				return err
-			}
-		} else {
-			val = dec.Value.(*MessageVal)
+		if err := s.deliverDecision(dec); err != nil {
+			return err
 		}
-		dsp := s.cfg.Tracer.Start("vote.decide",
-			fmt.Sprintf("received=%d", dec.Received),
-			fmt.Sprintf("supporters=%d", len(dec.Supporters)))
-		s.OnMessage(val, dec)
-		dsp.End()
-	}
-	if dec == nil {
+	} else {
 		s.maybeFallback(env.RequestID)
+	}
+	return nil
+}
+
+// deliverDecision closes the vote and surfaces the agreed message.
+func (s *Stream) deliverDecision(dec *vote.Decision) error {
+	s.markVoteClosed()
+	if s.OnMessage == nil {
+		return nil
+	}
+	s.mDecisions.Inc()
+	s.hReceived.Observe(float64(dec.Received))
+	var val *MessageVal
+	if s.cfg.ByteVoting {
+		rawPayload, err := DecodeSignedPayload(dec.Raw)
+		if err != nil {
+			return err
+		}
+		val, err = s.buildVal(rawPayload.GIOP)
+		if err != nil {
+			return err
+		}
+	} else {
+		val = dec.Value.(*MessageVal)
+	}
+	dsp := s.cfg.Tracer.Start("vote.decide",
+		fmt.Sprintf("received=%d", dec.Received),
+		fmt.Sprintf("supporters=%d", len(dec.Supporters)))
+	s.OnMessage(val, dec)
+	dsp.End()
+	return nil
+}
+
+// injectCarried replays full replies captured from an abandoned digest
+// vote (see RetryReply) into the redone full vote for the same request
+// id. Stale stashes — the vote moved on — are dropped.
+func (s *Stream) injectCarried(requestID uint64) error {
+	if len(s.carried) == 0 {
+		return nil
+	}
+	if s.carriedID != requestID || requestID != s.cv.CurrentID() || s.cv.Voter() == nil {
+		s.carried = nil
+		return nil
+	}
+	carry := s.carried
+	s.carried = nil
+	for _, cs := range carry {
+		s.mSubmissions.Inc()
+		dec, err := s.cv.Submit(requestID, cs)
+		if err != nil {
+			return err
+		}
+		s.reportFaults()
+		if dec != nil {
+			if err := s.deliverDecision(dec); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -512,8 +570,9 @@ func (s *Stream) deliverDigestMode(env *Envelope, plaintext []byte) error {
 }
 
 // submitDigest routes a digest-mode submission and handles decision and
-// stall outcomes. Digest votes never file fault reports — a bare digest is
-// not GM-verifiable evidence; the fallback's full vote re-detects faults.
+// stall outcomes. Digest votes file fault reports only for conflicting
+// FULL replies — a bare digest is not GM-verifiable evidence; the
+// fallback's full vote re-detects digest-only faults.
 func (s *Stream) submitDigest(requestID uint64, sub vote.DigestSubmission) error {
 	s.mSubmissions.Inc()
 	vsp := s.cfg.Tracer.Start("vote.submit")
@@ -522,6 +581,7 @@ func (s *Stream) submitDigest(requestID uint64, sub vote.DigestSubmission) error
 	if err != nil {
 		return err
 	}
+	s.reportFaults()
 	if dec == nil {
 		s.maybeFallback(requestID)
 		return nil

@@ -155,6 +155,18 @@ func (q *Queue) Restore(snapshot []byte) error {
 	return nil
 }
 
+// Reset discards the retained window and rewinds the sequence counter to
+// the initial state, without firing onRestore. pbft.Replica.Recover calls
+// it (through an optional interface) when a replica restarts from clean
+// state: the real queue contents come back via Restore once the
+// post-recovery state transfer lands, and that Restore drives the usual
+// Resynchronise replay.
+func (q *Queue) Reset() {
+	q.window = nil
+	q.nextSeq = 1
+	q.gDepth.Set(0)
+}
+
 // messages returns the retained window (borrowed, do not modify).
 func (q *Queue) messages() []queuedMsg { return q.window }
 

@@ -134,10 +134,14 @@ func (c *ConnectionVoter) SubmitDigest(requestID uint64, s DigestSubmission) (*D
 	return c.dvoter.Submit(s)
 }
 
-// Faults returns the fault reports for the outstanding vote.
+// Faults returns the fault reports for the outstanding vote. Digest votes
+// report only conflicting full replies (see DigestVoter.Faults).
 func (c *ConnectionVoter) Faults() []FaultReport {
-	if c.voter == nil {
-		return nil
+	if c.voter != nil {
+		return c.voter.Faults()
 	}
-	return c.voter.Faults()
+	if c.dvoter != nil {
+		return c.dvoter.Faults()
+	}
+	return nil
 }

@@ -30,17 +30,26 @@ import (
 // platform float divergence (exact canonical digests scatter) both
 // surface as stalls.
 //
-// Digest votes file no fault reports: a bare digest is not transferable
-// evidence the Group Manager could verify against the data-signing
-// context. The fallback's full-reply vote re-detects any faulty value
-// with properly signed full messages (see ITDOS change_request, §3.6).
+// Digest votes file fault reports only for conflicting FULL replies: a
+// bare digest is not transferable evidence the Group Manager could verify
+// against the data-signing context, but a full reply carries its signed
+// payload, so a full reply clustered outside the decided class is exactly
+// the evidence a change_request presents. The fallback's full-reply vote
+// re-detects digest-only faults with properly signed full messages (see
+// ITDOS change_request, §3.6).
 type DigestVoter struct {
 	n, f      int
 	responder int
 
-	classes  []*digestClass
-	seen     map[int]bool
-	decision *Decision
+	classes    []*digestClass
+	seen       map[int]bool
+	decision   *Decision
+	decidedKey string
+	// fulls records every full-reply submission (signed payloads), so the
+	// fallback's redone full vote can reuse them and conflicting fulls can
+	// be reported even when they arrive after the decision.
+	fulls  []DigestSubmission
+	faults []FaultReport
 }
 
 type digestClass struct {
@@ -124,12 +133,45 @@ func (v *DigestVoter) Submit(s DigestSubmission) (*Decision, error) {
 		home.fullVal = s.Full
 		home.fullRaw = s.Raw
 	}
+	if s.Full != nil {
+		v.fulls = append(v.fulls, s)
+	}
 	if v.decision != nil {
+		v.noteFullFault(s)
 		return nil, nil
 	}
 	v.tryDecide()
+	if v.decision != nil {
+		for _, fs := range v.fulls {
+			v.noteFullFault(fs)
+		}
+	}
 	return v.decision, nil
 }
+
+// noteFullFault records a conflicting full reply once a decision exists.
+// Digest-only submissions never generate reports (not GM-verifiable).
+func (v *DigestVoter) noteFullFault(s DigestSubmission) {
+	if v.decision == nil || s.Full == nil || string(s.Digest) == v.decidedKey {
+		return
+	}
+	v.faults = append(v.faults, FaultReport{
+		Member:      s.Member,
+		Evidence:    s.Raw,
+		DecidedRaw:  v.decision.Raw,
+		Description: "full reply outside the decided canonical-digest class",
+	})
+}
+
+// Faults returns reports for full replies that conflicted with the
+// decision, in observation order. Empty while the vote is open.
+func (v *DigestVoter) Faults() []FaultReport { return v.faults }
+
+// FullSubmissions returns every full-reply submission seen so far, in
+// arrival order. The digest-fallback path re-arms a full vote for the
+// same request id and replays these, so replies that already arrived
+// (including a lying responder's) count without being re-sent.
+func (v *DigestVoter) FullSubmissions() []DigestSubmission { return v.fulls }
 
 func (v *DigestVoter) tryDecide() {
 	for _, c := range v.classes {
@@ -139,6 +181,7 @@ func (v *DigestVoter) tryDecide() {
 		members := append([]int(nil), c.members...)
 		raws := append([][]byte(nil), c.raws...)
 		sort.Sort(&memberRawSort{members: members, raws: raws})
+		v.decidedKey = c.digest
 		v.decision = &Decision{
 			Value:         c.fullVal,
 			Raw:           c.fullRaw,

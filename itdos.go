@@ -49,6 +49,7 @@ import (
 
 	"itdos/internal/cdr"
 	"itdos/internal/idl"
+	"itdos/internal/itc"
 	"itdos/internal/netsim"
 	"itdos/internal/obs"
 	"itdos/internal/orb"
@@ -73,6 +74,12 @@ type ClientSpec = replica.ClientSpec
 
 // GroupSpec sizes the Group Manager domain.
 type GroupSpec = replica.GroupSpec
+
+// ITCConfig tunes the intrusion-tolerance controller; set Config.ITC to a
+// non-nil value to enable it (see internal/itc for the feedback loop:
+// suspicion decay, feedback-scheduled rekey, evidence-gated expulsion and
+// proactive recovery rotation).
+type ITCConfig = itc.Config
 
 // Client is a singleton client runtime.
 type Client = replica.Client
