@@ -20,9 +20,14 @@ check-perf:
 # compromise + collusion, C10 lying designated responder under churn, C11
 # compromised-then-recovered replica) asserting the intrusion-response
 # loop end to end — decisions correct, <= f expelled, liveness restored.
+# The second step re-runs the campaigns with the flight recorder and
+# writes their forensic dumps (FLIGHT_C9/C10/C11.json, schema
+# itdos-flight/1) into bench-out/ for the CI artifact upload.
 .PHONY: campaign
 campaign:
 	$(GO) run ./cmd/itdos-bench -check C9,C10,C11
+	mkdir -p bench-out
+	$(GO) run ./cmd/itdos-bench -exp C9,C10,C11 -json -flight -out bench-out
 
 build:
 	$(GO) build ./...
@@ -50,7 +55,7 @@ race:
 	$(GO) test -race -short ./...
 
 # Machine-readable experiment tables: one BENCH_<id>.json per experiment
-# (schema itdos-bench/1), plus a sample trace dump. CI uploads bench-out/
+# (schema itdos-bench/2), plus a sample trace dump. CI uploads bench-out/
 # as a workflow artifact.
 bench-json:
 	mkdir -p bench-out

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"itdos/internal/bench"
@@ -40,6 +41,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	markdown := fs.Bool("markdown", false, "emit markdown instead of aligned text")
 	jsonOut := fs.Bool("json", false, "write BENCH_<id>.json per experiment instead of printing")
+	flightOut := fs.Bool("flight", false, "also write the experiment's flight-recorder dumps (FLIGHT_<id>.json) to -out")
 	outDir := fs.String("out", ".", "directory for -json output files")
 	check := fs.String("check", "", "run a regression or campaign guard and exit non-zero on failure")
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +121,20 @@ func run(args []string) error {
 			fmt.Println(table.Markdown())
 		default:
 			fmt.Println(table.Render())
+		}
+		if *flightOut {
+			names := make([]string, 0, len(table.Artifacts))
+			for name := range table.Artifacts {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				path := filepath.Join(*outDir, name)
+				if err := os.WriteFile(path, table.Artifacts[name], 0o644); err != nil {
+					return fmt.Errorf("experiment %s: %w", e.ID, err)
+				}
+				fmt.Println("wrote", path)
+			}
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@
 //	itdos-demo -byzantine 2 -after 3        # compromise replica 2 after call 3
 //	itdos-demo -clients 3 -seed 9           # concurrent clients
 //	itdos-demo -itc -metrics                # automated intrusion response
+//	itdos-demo -byzantine 2 -itc -flight    # forensic flight-recorder timeline
 package main
 
 import (
@@ -47,6 +48,7 @@ func run(args []string) error {
 	trace := fs.Bool("trace", false, "print the span tree of client 0's first invocation")
 	traceJSON := fs.Bool("trace-json", false, "print the full span forest as itdos-trace/1 JSON")
 	metrics := fs.Bool("metrics", false, "print the metrics registry after the run")
+	flightOn := fs.Bool("flight", false, "record protocol events and print the flight-recorder timeline after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +78,10 @@ func run(args []string) error {
 	if *metrics || *trace || *traceJSON || *itcOn {
 		mreg = itdos.NewMetrics()
 	}
+	var frec *itdos.FlightRecorder
+	if *flightOn {
+		frec = itdos.NewFlightRecorder(0)
+	}
 	var itcCfg *itdos.ITCConfig
 	var checkpoint uint64
 	if *itcOn {
@@ -94,6 +100,7 @@ func run(args []string) error {
 		Latency:            itdos.UniformLatency(time.Millisecond, 3*time.Millisecond),
 		Registry:           reg,
 		Metrics:            mreg,
+		Flight:             frec,
 		GM:                 itdos.GroupSpec{N: *gmN, F: *gmF},
 		Epsilon:            *epsilon,
 		ITC:                itcCfg,
@@ -174,6 +181,14 @@ func run(args []string) error {
 		// The whole span forest as schema-pinned JSON (itdos-trace/1): the
 		// machine-readable sibling of -trace, for trace viewers and CI diffs.
 		if err := tracer.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("--------------------------------------------------------------------")
+	}
+	if frec != nil {
+		// The whole run as per-replica causal timelines: the forensic view
+		// the controller snapshots on its own at threshold crossings.
+		if err := frec.Snapshot("itdos-demo run report").Render(os.Stdout); err != nil {
 			return err
 		}
 		fmt.Println("--------------------------------------------------------------------")

@@ -49,6 +49,7 @@ var allChecks = []*Check{
 	checkInsecureRand,
 	checkTickerLeak,
 	checkBoundedDecode,
+	checkFlightNil,
 }
 
 func lookupChecks(names string) ([]*Check, error) {

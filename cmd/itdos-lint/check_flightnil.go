@@ -1,0 +1,90 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// checkFlightNil enforces the flight recorder's nil-safety contract: a nil
+// *Recorder IS the disabled recorder, so every event-append site in the
+// protocol stack calls straight through without its own guard. That only
+// holds if every exported pointer-receiver method in internal/obs/flight
+// begins with a nil-receiver guard — one forgotten guard turns the
+// zero-cost default into a panic at the first instrumented protocol event.
+// The check is scoped to the flight package: the wider obs package has
+// methods (Span.Dump, Tracer.WriteJSON) with different nil conventions.
+var checkFlightNil = &Check{
+	Name:  "flight-nil",
+	Doc:   "requires exported flight-recorder methods to start with a nil-receiver guard",
+	Paths: []string{"internal/obs/flight"},
+	Run:   runFlightNil,
+}
+
+func runFlightNil(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if _, ok := recv.Type.(*ast.StarExpr); !ok {
+				continue // value receiver: nil cannot reach it
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				p.Reportf(fd.Pos(), "exported method %s discards its pointer receiver and cannot nil-guard it; name the receiver and guard first", fd.Name.Name)
+				continue
+			}
+			if !startsWithNilGuard(fd.Body, recv.Names[0].Name) {
+				p.Reportf(fd.Pos(), "exported method %s must start with a nil-receiver guard (`if %s == nil { return ... }`): a nil recorder is the disabled recorder", fd.Name.Name, recv.Names[0].Name)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the first statement is an if whose
+// condition tests `recv == nil` (possibly as one ||-joined operand, e.g.
+// `if r == nil || r.clock != nil`) and whose body exits via return.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	if !condTestsNil(ifStmt.Cond, recv) {
+		return false
+	}
+	n := len(ifStmt.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, isReturn := ifStmt.Body.List[n-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condTestsNil matches `recv == nil` or `nil == recv`, directly or as an
+// operand of a top-level || chain.
+func condTestsNil(e ast.Expr, recv string) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "||":
+			return condTestsNil(e.X, recv) || condTestsNil(e.Y, recv)
+		case "==":
+			return isIdentNamed(e.X, recv) && isNilIdent(e.Y) ||
+				isNilIdent(e.X) && isIdentNamed(e.Y, recv)
+		}
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -227,8 +227,8 @@ func TestRepoIsClean(t *testing.T) {
 // in-process and requires zero unsuppressed findings and a justification on
 // every suppression — the self-application acceptance criterion.
 func TestLintSelfClean(t *testing.T) {
-	if len(allChecks) != 11 {
-		t.Fatalf("registered checks = %d, want 11", len(allChecks))
+	if len(allChecks) != 12 {
+		t.Fatalf("registered checks = %d, want 12", len(allChecks))
 	}
 	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {

@@ -14,6 +14,7 @@
 //	insecure-rand   no math/rand in the key-handling packages
 //	ticker-leak     no per-iteration timer allocation, no unstopped tickers
 //	bounded-decode  no make sized by an unvalidated wire-length field
+//	flight-nil      exported flight-recorder methods nil-guard their receiver
 //
 // Findings suppress with a justified comment:
 //

@@ -1,0 +1,47 @@
+// Package flight mirrors the real flight-recorder API shape so the
+// flight-nil fixtures type-check inside the self-contained fixture module.
+// The check is scoped by directory (internal/obs/flight), so these mirrors
+// exercise exactly the resolution the real tree does.
+package flight
+
+// Recorder is the fixture stand-in for the per-replica event recorder.
+type Recorder struct {
+	n     int
+	bound bool
+}
+
+// Append lacks the guard entirely: the first instrumented protocol event
+// on a nil (disabled) recorder would panic.
+func (r *Recorder) Append(identity string, kind int) { // want:flight-nil
+	r.n++
+	_ = identity
+	_ = kind
+}
+
+// Count guards, but not first — the read before it already dereferences.
+func (r *Recorder) Count() int { // want:flight-nil
+	n := r.n
+	if r == nil {
+		return 0
+	}
+	return n
+}
+
+// Reset guards a different variable, not the receiver.
+func (r *Recorder) Reset(other *Recorder) { // want:flight-nil
+	if other == nil {
+		return
+	}
+	r.n = 0
+}
+
+// Peek guards the receiver but falls through instead of returning.
+func (r *Recorder) Peek() int { // want:flight-nil
+	if r == nil {
+		_ = r
+	}
+	return r.n
+}
+
+// Drain discards its receiver, so no guard is even possible.
+func (*Recorder) Drain() {} // want:flight-nil

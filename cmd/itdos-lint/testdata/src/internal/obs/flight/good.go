@@ -1,0 +1,41 @@
+package flight
+
+// Log is a second recorder-like type whose methods all honour the
+// nil-receiver contract; none of these may fire.
+
+// Log buffers events.
+type Log struct {
+	n     int
+	bound bool
+}
+
+// Add guards first and no-ops on nil: the contract every event-append
+// site in the protocol stack relies on.
+func (l *Log) Add(kind int) {
+	if l == nil {
+		return
+	}
+	l.n += kind
+}
+
+// Len guards first and returns a zero value.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return l.n
+}
+
+// Bind guards with an ||-joined condition (nil receiver or already bound).
+func (l *Log) Bind() {
+	if l == nil || l.bound {
+		return
+	}
+	l.bound = true
+}
+
+// String has a value receiver: nil cannot reach it, so no guard is needed.
+func (l Log) String() string { return "log" }
+
+// reset is unexported: internal callers hold a checked receiver already.
+func (l *Log) reset() { l.n = 0 }

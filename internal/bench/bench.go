@@ -16,6 +16,8 @@ import (
 	"itdos/internal/idl"
 	"itdos/internal/itc"
 	"itdos/internal/netsim"
+	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/orb"
 	"itdos/internal/replica"
 )
@@ -28,6 +30,16 @@ type Table struct {
 	Note    string
 	Headers []string
 	Rows    [][]string
+
+	// Metrics, when set, is the registry the experiment observed; JSON
+	// output digests its histograms into p50/p95/p99 summaries. Render
+	// ignores it, so recorded text tables are unaffected.
+	Metrics *obs.Registry
+
+	// Artifacts are extra machine-readable files the experiment produced
+	// (e.g. flight dumps), keyed by file name. Render and JSON ignore
+	// them; itdos-bench writes each alongside the BENCH_*.json.
+	Artifacts map[string][]byte
 }
 
 // Render formats the table as aligned text.
@@ -173,6 +185,8 @@ type calcOpts struct {
 	checkpoint uint64
 	servant    func(member int) orb.Servant
 	seed       int64
+	metrics    *obs.Registry    // nil → a fresh registry per system
+	flight     *flight.Recorder // nil → recording disabled (the default)
 }
 
 func mixedProfiles(n int, jitter float64) []replica.Profile {
@@ -208,10 +222,15 @@ func newCalcSystem(opts calcOpts) (*replica.System, error) {
 	if opts.servant == nil {
 		opts.servant = func(int) orb.Servant { return calcServant() }
 	}
+	if opts.metrics == nil {
+		opts.metrics = obs.NewRegistry()
+	}
 	return replica.NewSystem(replica.SystemConfig{
 		Seed:               opts.seed,
 		Latency:            netsim.UniformLatency(time.Millisecond, 3*time.Millisecond),
 		Registry:           calcRegistry(),
+		Metrics:            opts.metrics,
+		Flight:             opts.flight,
 		GM:                 replica.GroupSpec{N: opts.gmN, F: opts.gmF},
 		Epsilon:            opts.epsilon,
 		ByteVoting:         opts.byteVoting,

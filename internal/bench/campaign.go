@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
 	"itdos/internal/cdr"
 	"itdos/internal/fault"
 	"itdos/internal/itc"
+	"itdos/internal/obs/flight"
 	"itdos/internal/orb"
 	"itdos/internal/replica"
 )
@@ -50,6 +52,50 @@ func expelledSet(sys *replica.System, domain string, n int) ([]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// flightChain asserts that identity's timeline in d contains the kinds as
+// a subsequence, in order: each kind must appear at a virtual time at or
+// after the previous kind's match. This is the forensic invariant the
+// campaign dumps exist to prove — e.g. C10's fault report ≺ rekey ≺
+// expulsion.
+func flightChain(d *flight.Dump, identity string, kinds ...string) error {
+	if d == nil {
+		return fmt.Errorf("campaign: no flight dump to check")
+	}
+	var log *flight.ReplicaLog
+	for i := range d.Replicas {
+		if d.Replicas[i].Identity == identity {
+			log = &d.Replicas[i]
+		}
+	}
+	if log == nil {
+		return fmt.Errorf("campaign: dump %q has no %q timeline", d.Reason, identity)
+	}
+	next := 0
+	for _, ev := range log.Events {
+		if next < len(kinds) && ev.Kind == kinds[next] {
+			next++
+		}
+	}
+	if next < len(kinds) {
+		return fmt.Errorf("campaign: dump %q: %s timeline missing %q (matched %d of %v)",
+			d.Reason, identity, kinds[next], next, kinds)
+	}
+	return nil
+}
+
+// flightArtifact renders the dump into t.Artifacts as FLIGHT_<id>.json.
+func flightArtifact(t *Table, d *flight.Dump) error {
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		return err
+	}
+	if t.Artifacts == nil {
+		t.Artifacts = make(map[string][]byte)
+	}
+	t.Artifacts["FLIGHT_"+t.ID+".json"] = buf.Bytes()
+	return nil
 }
 
 func clientEra(sys *replica.System, domain string) uint64 {
@@ -173,7 +219,8 @@ func C9() (*Table, error) {
 	// and the domain keeps serving on the remaining 5 = 2f+1.
 	sys, err = newCalcSystem(calcOpts{
 		n: 7, f: 2,
-		itc: &itc.Config{HalfLife: 2 * time.Second, Tick: 50 * time.Millisecond},
+		itc:    &itc.Config{HalfLife: 2 * time.Second, Tick: 50 * time.Millisecond},
+		flight: flight.New(0),
 		servant: func(member int) orb.Servant {
 			if member == 1 || member == 3 {
 				return fault.LyingServant(cdr.Value(666.0))
@@ -222,6 +269,21 @@ func C9() (*Table, error) {
 		">= 1.5",
 		"both expelled, keyed out",
 	})
+	// Forensics: the controller snapshotted the flight recorder at each
+	// threshold crossing and filing; the final dump's own timeline must
+	// show the evidence (fault reports) preceding both expulsions.
+	dumps := sys.ITC().FlightDumps()
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("C9 collusion: controller took no flight dumps")
+	}
+	final := dumps[len(dumps)-1]
+	if err := flightChain(final, itc.Identity,
+		"fault-reported", "expulsion-filed", "expulsion-filed"); err != nil {
+		return nil, err
+	}
+	if err := flightArtifact(t, final); err != nil {
+		return nil, err
+	}
 	_ = sys.Close()
 
 	t.Note = "suspicion decays with a 1 s half-life; a lie every ~2.5 s converges " +
@@ -248,6 +310,7 @@ func C10() (*Table, error) {
 	}
 	sys, err := newCalcSystem(calcOpts{
 		digest: true,
+		flight: flight.New(0),
 		itc: &itc.Config{
 			HalfLife:          2 * time.Second,
 			BaseRekeyInterval: 1500 * time.Millisecond,
@@ -288,6 +351,22 @@ func C10() (*Table, error) {
 	eraAtExpulsion := clientEra(sys, "calc")
 	if eraAtExpulsion < 2 {
 		return nil, fmt.Errorf("C10: era %d at expulsion, want >= 2 (feedback churn + expulsion rekey)", eraAtExpulsion)
+	}
+	// Forensics: the expulsion dump's controller timeline must carry the
+	// full evidence chain in virtual-time order — the lying responder's
+	// fault report, then a feedback rekey churning the era, then the
+	// expulsion filing the retained evidence justified.
+	dumps := sys.ITC().FlightDumps()
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("C10: controller took no flight dumps")
+	}
+	final := dumps[len(dumps)-1]
+	if err := flightChain(final, itc.Identity,
+		"fault-reported", "rekey", "expulsion-filed"); err != nil {
+		return nil, err
+	}
+	if err := flightArtifact(t, final); err != nil {
+		return nil, err
 	}
 	t.Rows = append(t.Rows, []string{
 		"responder compromised",
@@ -336,7 +415,9 @@ func C11() (*Table, error) {
 			"r2 suspicion", "r2 recoveries", "expelled"},
 	}
 	sw := fault.NewSwitch()
+	rec := flight.New(0)
 	sys, err := newCalcSystem(calcOpts{
+		flight: rec,
 		itc: &itc.Config{
 			HalfLife:         time.Second,
 			RecoveryInterval: 800 * time.Millisecond,
@@ -432,6 +513,20 @@ func C11() (*Table, error) {
 		fmt.Sprintf("%d", ctrl.Recoveries("calc", 2)),
 		"none",
 	})
+	// Forensics: the sub-threshold foothold must trigger no controller
+	// snapshot (no threshold crossing, no filing); the campaign takes its
+	// own end-of-run dump, whose controller timeline shows the rotation —
+	// recovery started and completed — doing the evicting instead.
+	if n := len(ctrl.FlightDumps()); n != 0 {
+		return nil, fmt.Errorf("C11: controller snapshotted %d dumps for a sub-threshold foothold", n)
+	}
+	final := rec.Snapshot("C11 campaign end (rotation evicted the foothold)")
+	if err := flightChain(final, itc.Identity, "recovery-start", "recovery-complete"); err != nil {
+		return nil, err
+	}
+	if err := flightArtifact(t, final); err != nil {
+		return nil, err
+	}
 	t.Note = "the foothold lies too rarely to cross the expulsion threshold, so " +
 		"detection alone would leave it resident indefinitely; the recovery " +
 		"rotation restarts each non-primary replica from its clean code image on a " +

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestC10FlightDeterministic pins the forensic property the flight dumps
+// are sold on: the campaign is driven entirely by seeded virtual time, so
+// re-running C10 must reproduce its expulsion dump byte for byte.
+func TestC10FlightDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign run in -short mode")
+	}
+	runOnce := func() []byte {
+		t.Helper()
+		table, err := C10()
+		if err != nil {
+			t.Fatalf("C10: %v", err)
+		}
+		dump, ok := table.Artifacts["FLIGHT_C10.json"]
+		if !ok {
+			t.Fatal("C10 produced no FLIGHT_C10.json artifact")
+		}
+		return dump
+	}
+	first, second := runOnce(), runOnce()
+	if !bytes.Equal(first, second) {
+		t.Errorf("C10 flight dump not deterministic:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}

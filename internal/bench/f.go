@@ -8,6 +8,7 @@ import (
 	"itdos/internal/firewall"
 	"itdos/internal/giop"
 	"itdos/internal/netsim"
+	"itdos/internal/obs"
 	"itdos/internal/orb"
 	"itdos/internal/pbft"
 	"itdos/internal/smiop"
@@ -24,9 +25,10 @@ func F1() (*Table, error) {
 		Source: "Figure 1 (paper §2)",
 		Headers: []string{"byzantine replicas", "result", "correct", "msgs/call",
 			"bytes/call", "sim latency", "proxy passed"},
+		Metrics: obs.NewRegistry(),
 	}
 	for _, byz := range []int{0, 1} {
-		sys, err := newCalcSystem(calcOpts{seed: int64(100 + byz)})
+		sys, err := newCalcSystem(calcOpts{seed: int64(100 + byz), metrics: t.Metrics})
 		if err != nil {
 			return nil, err
 		}

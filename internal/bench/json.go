@@ -3,30 +3,47 @@ package bench
 import (
 	"encoding/json"
 	"io"
+
+	"itdos/internal/obs"
 )
 
 // SchemaVersion identifies the BENCH_*.json layout. Bump it whenever a
 // field is added, removed or re-interpreted so downstream consumers (CI
 // artifact diffing, plotting scripts) can reject files they don't
 // understand.
-const SchemaVersion = "itdos-bench/1"
+//
+// v2 added the histograms block: p50/p95/p99 summaries of every latency
+// histogram the experiment's metrics registry observed.
+const SchemaVersion = "itdos-bench/2"
+
+// HistogramSummary is the machine-readable digest of one registry
+// histogram: total count plus interpolated p50/p95/p99 (see
+// obs.Histogram.Quantile for the estimator and its overflow clamping).
+type HistogramSummary struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
 
 // TableJSON is the machine-readable form of a Table. All cells stay
 // strings: experiment rows mix counts, durations and labels, and the
 // rendered value (e.g. "12.85 ms") is the recorded result.
 type TableJSON struct {
-	Schema  string     `json:"schema"`
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Source  string     `json:"source"`
-	Note    string     `json:"note,omitempty"`
-	Headers []string   `json:"headers"`
-	Rows    [][]string `json:"rows"`
+	Schema     string             `json:"schema"`
+	ID         string             `json:"id"`
+	Title      string             `json:"title"`
+	Source     string             `json:"source"`
+	Note       string             `json:"note,omitempty"`
+	Headers    []string           `json:"headers"`
+	Rows       [][]string         `json:"rows"`
+	Histograms []HistogramSummary `json:"histograms,omitempty"`
 }
 
 // JSON returns the table's machine-readable form.
 func (t *Table) JSON() TableJSON {
-	return TableJSON{
+	out := TableJSON{
 		Schema:  SchemaVersion,
 		ID:      t.ID,
 		Title:   t.Title,
@@ -35,6 +52,19 @@ func (t *Table) JSON() TableJSON {
 		Headers: t.Headers,
 		Rows:    t.Rows,
 	}
+	t.Metrics.EachHistogram(func(key string, h *obs.Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		out.Histograms = append(out.Histograms, HistogramSummary{
+			Name:  key,
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
+	})
+	return out
 }
 
 // WriteJSON writes the table as indented JSON, trailing newline included.

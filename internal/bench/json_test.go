@@ -3,13 +3,18 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"testing"
+
+	"itdos/internal/obs"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // TestWriteJSONGolden pins the exact BENCH_*.json byte layout: field
 // names, field order, indentation. Schema changes must update the golden
-// file AND bump SchemaVersion.
+// file AND bump SchemaVersion. Regenerate with -update.
 func TestWriteJSONGolden(t *testing.T) {
 	table := &Table{
 		ID:      "T0",
@@ -18,10 +23,22 @@ func TestWriteJSONGolden(t *testing.T) {
 		Note:    "synthetic",
 		Headers: []string{"k", "v"},
 		Rows:    [][]string{{"calls", "10"}, {"msgs", "215"}},
+		Metrics: obs.NewRegistry(),
 	}
+	h := table.Metrics.Histogram("call_latency_ms", []float64{10, 20, 40}, "op=add")
+	for _, v := range []float64{5, 5, 15, 15, 15, 15, 30, 30, 30, 100} {
+		h.Observe(v)
+	}
+	// A never-observed histogram stays out of the summaries.
+	table.Metrics.Histogram("idle_ms", []float64{1})
 	var buf bytes.Buffer
 	if err := table.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
+	}
+	if *update {
+		if err := os.WriteFile("testdata/golden_table.json", buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 	want, err := os.ReadFile("testdata/golden_table.json")
 	if err != nil {

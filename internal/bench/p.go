@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"itdos/internal/netsim"
+	"itdos/internal/obs"
 	"itdos/internal/pbft"
 	"itdos/internal/srm"
 )
@@ -25,14 +26,14 @@ type p1Point struct {
 // synchronised waves: all k senders invoke at the same virtual instant,
 // and the wave completes when every sender has its f+1 acknowledgement —
 // the paper's "heavy traffic" shape in its most reproducible form.
-func p1Measure(k, maxBatch int) (p1Point, error) {
+func p1Measure(k, maxBatch int, m *obs.Registry) (p1Point, error) {
 	// Same seed for both MaxBatch columns of a given k: identical arrival
 	// schedules, so the cost difference is purely the protocol's.
 	net := netsim.NewNetwork(int64(40+k), netsim.UniformLatency(time.Millisecond, 3*time.Millisecond))
 	ring := pbft.NewKeyring()
 	dom, err := srm.NewDomain(net, srm.DomainConfig{
 		Name: "grp", N: 4, F: 1, ViewTimeout: 500 * time.Millisecond,
-		MaxBatch: maxBatch, Ring: ring,
+		MaxBatch: maxBatch, Ring: ring, Metrics: m,
 	})
 	if err != nil {
 		return p1Point{}, err
@@ -100,11 +101,12 @@ func P1() (*Table, error) {
 		Source: "claim §3.2 (ordering cost), Castro–Liskov batching",
 		Headers: []string{"k concurrent", "max batch", "msgs/request",
 			"bytes/request", "sim latency/request", "msgs amortisation"},
+		Metrics: obs.NewRegistry(),
 	}
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		var baseline float64
 		for _, mb := range p1Batches {
-			pt, err := p1Measure(k, mb)
+			pt, err := p1Measure(k, mb, t.Metrics)
 			if err != nil {
 				return nil, err
 			}
@@ -136,11 +138,11 @@ func P1() (*Table, error) {
 // batching beats the unbatched baseline at k=16 by at least minGain. CI runs
 // it (via itdos-bench -check P1) so the perf win is guarded per commit.
 func CheckP1(minGain float64) error {
-	unbatched, err := p1Measure(16, 1)
+	unbatched, err := p1Measure(16, 1, nil)
 	if err != nil {
 		return err
 	}
-	batched, err := p1Measure(16, 16)
+	batched, err := p1Measure(16, 16, nil)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"itdos/internal/cdr"
 	"itdos/internal/idl"
 	"itdos/internal/netsim"
+	"itdos/internal/obs"
 	"itdos/internal/orb"
 	"itdos/internal/replica"
 )
@@ -29,7 +30,7 @@ type p2Point struct {
 // p2Measure fetches one size-byte object through an n=4 domain and reports
 // the wire cost of the call, with digest replies on or off. The same seed
 // drives both modes so the cost difference is purely the protocol's.
-func p2Measure(size int, digest bool) (p2Point, error) {
+func p2Measure(size int, digest bool, m *obs.Registry) (p2Point, error) {
 	reg := idl.NewRegistry()
 	reg.Register(idl.NewInterface(p2Iface).
 		Op("fetch",
@@ -39,6 +40,7 @@ func p2Measure(size int, digest bool) (p2Point, error) {
 		Seed:          int64(90 + size>>12),
 		Latency:       netsim.UniformLatency(time.Millisecond, 2*time.Millisecond),
 		Registry:      reg,
+		Metrics:       m,
 		FragmentSize:  16 << 10,
 		DigestReplies: digest,
 		Domains: []replica.DomainSpec{{
@@ -90,11 +92,12 @@ func P2() (*Table, error) {
 			"(paper §3.6 heterogeneity makes raw-byte digests unsound)",
 		Headers: []string{"object size", "digest replies", "msgs/call",
 			"bytes/call", "sim latency", "bytes gain"},
+		Metrics: obs.NewRegistry(),
 	}
 	for _, size := range []int{4 << 10, 64 << 10, 256 << 10} {
 		var baseline float64
 		for _, digest := range []bool{false, true} {
-			pt, err := p2Measure(size, digest)
+			pt, err := p2Measure(size, digest, t.Metrics)
 			if err != nil {
 				return nil, err
 			}
@@ -129,11 +132,11 @@ func P2() (*Table, error) {
 // via itdos-bench -check P2.
 func CheckP2(minGain float64) error {
 	const size = 256 << 10
-	full, err := p2Measure(size, false)
+	full, err := p2Measure(size, false, nil)
 	if err != nil {
 		return err
 	}
-	dig, err := p2Measure(size, true)
+	dig, err := p2Measure(size, true, nil)
 	if err != nil {
 		return err
 	}
@@ -150,7 +153,7 @@ const p3Iface = "IDL:bench/KV:1.0"
 // p3Measure runs one put (warmup, always ordered) then rounds gets against
 // an n=4 domain and reports the per-get cost, with the read-only fast path
 // on or off.
-func p3Measure(fast bool) (p1Point, error) {
+func p3Measure(fast bool, m *obs.Registry) (p1Point, error) {
 	reg := idl.NewRegistry()
 	reg.Register(idl.NewInterface(p3Iface).
 		Op("put",
@@ -162,6 +165,7 @@ func p3Measure(fast bool) (p1Point, error) {
 		Seed:             97,
 		Latency:          netsim.UniformLatency(time.Millisecond, 3*time.Millisecond),
 		Registry:         reg,
+		Metrics:          m,
 		ReadOnlyFastPath: fast,
 		Domains: []replica.DomainSpec{{
 			Name: "kv", N: 4, F: 1,
@@ -223,10 +227,11 @@ func P3() (*Table, error) {
 			"canonically equal values",
 		Headers: []string{"fast path", "msgs/get", "bytes/get",
 			"sim latency/get", "msgs gain"},
+		Metrics: obs.NewRegistry(),
 	}
 	var baseline float64
 	for _, fast := range []bool{false, true} {
-		pt, err := p3Measure(fast)
+		pt, err := p3Measure(fast, t.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -257,11 +262,11 @@ func P3() (*Table, error) {
 // CheckP3 fails unless the read-only fast path at n=4 both at least halves
 // msgs/get and lowers simulated latency. CI runs it via itdos-bench -check P3.
 func CheckP3(minMsgGain float64) error {
-	ordered, err := p3Measure(false)
+	ordered, err := p3Measure(false, nil)
 	if err != nil {
 		return err
 	}
-	fast, err := p3Measure(true)
+	fast, err := p3Measure(true, nil)
 	if err != nil {
 		return err
 	}

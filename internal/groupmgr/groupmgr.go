@@ -24,6 +24,7 @@ import (
 	"itdos/internal/giop"
 	"itdos/internal/idl"
 	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/quorum"
 	"itdos/internal/smiop"
 )
@@ -82,6 +83,9 @@ type Config struct {
 	OnRejectedProof func(accuserDomain string, accuserMember int)
 	// Metrics, if non-nil, receives Group Manager control-plane counters.
 	Metrics *obs.Registry
+	// Flight, if non-nil, receives keying events (rekey, expulsion
+	// applied, proof rejected) on the ring named "gm/rIndex".
+	Flight *flight.Recorder
 }
 
 func (c *Config) validate() error {
@@ -137,6 +141,9 @@ type Manager struct {
 	mRekeys         *obs.Counter
 	mExpulsions     *obs.Counter
 	mRejectedProofs *obs.Counter
+
+	// flightID names this element's flight-recorder ring.
+	flightID string
 }
 
 // New builds a Group Manager element.
@@ -160,7 +167,14 @@ func New(cfg Config) (*Manager, error) {
 		m.mExpulsions = r.Counter("gm_expulsions_total")
 		m.mRejectedProofs = r.Counter("gm_rejected_proofs_total")
 	}
+	m.flightID = fmt.Sprintf("gm/r%d", cfg.Index)
 	return m, nil
+}
+
+// record appends a flight-recorder event on this element's ring (no-op
+// without a recorder).
+func (m *Manager) record(kind flight.Kind, attr string) {
+	m.cfg.Flight.Append(m.flightID, kind, 0, 0, 0, attr)
 }
 
 // IsExpelled reports whether a domain member has been expelled.
@@ -354,6 +368,8 @@ func (m *Manager) onChangeRequest(sender string, env *smiop.Envelope) {
 		if !m.validateProof(cr, targetInfo) {
 			m.RejectedProofs++
 			m.mRejectedProofs.Inc()
+			m.record(flight.KindProofRejected,
+				fmt.Sprintf("accuser=%s/r%d", accuserDomain, accuserMember))
 			if m.cfg.OnRejectedProof != nil {
 				m.cfg.OnRejectedProof(accuserDomain, accuserMember)
 			}
@@ -547,6 +563,8 @@ func (m *Manager) expel(domain string, member int, byProof bool) {
 	m.expelled[domain][member] = true
 	m.Expulsions = append(m.Expulsions, Expulsion{Domain: domain, Member: member, ByProof: byProof})
 	m.mExpulsions.Inc()
+	m.record(flight.KindExpulsionFiled,
+		fmt.Sprintf("applied member=%s/r%d byproof=%v", domain, member, byProof))
 	m.rekeyDomain(domain)
 }
 
@@ -566,6 +584,8 @@ func (m *Manager) rekeyDomain(domain string) {
 		rec := m.connsByID[id]
 		rec.Era++
 		m.mRekeys.Inc()
+		m.record(flight.KindRekey,
+			fmt.Sprintf("domain=%s conn=%d era=%d", domain, id, rec.Era))
 		rec.X = m.common.Next(fmt.Sprintf("conn|%s|%s|era%d", rec.Initiator, rec.Target, rec.Era))
 		m.distribute(rec, m.cfg.Domains[rec.Initiator], m.cfg.Domains[rec.Target])
 	}

@@ -38,6 +38,7 @@ import (
 
 	"itdos/internal/netsim"
 	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/smiop"
 )
 
@@ -159,6 +160,7 @@ type Controller struct {
 	domains []Domain
 	metrics *obs.Registry
 	tracer  *obs.Tracer
+	flight  *flight.Recorder
 
 	scores map[memberKey]*suspicion
 	order  []memberKey // deterministic iteration order (first-observed)
@@ -182,30 +184,42 @@ type Controller struct {
 	mRekeys     *obs.Counter
 	mExpulsions *obs.Counter
 	mRecoveries *obs.Counter
+
+	// dumps collects the flight-recorder snapshots taken at threshold
+	// crossings; snapshotted dedupes the suspicion-threshold snapshot per
+	// member so a noisy adversary cannot flood the dump list.
+	dumps       []*flight.Dump
+	snapshotted map[memberKey]bool
 }
 
 // New builds a controller over the virtual clock. domains lists the
 // replication domains to supervise (rekey scheduling and recovery
 // rotation); observations may still arrive for any domain or client.
+// rec, when non-nil, is the deployment's flight recorder: the controller
+// appends its observations and responses to the "itc" ring and snapshots
+// every ring when a member crosses the suspicion or expulsion threshold,
+// so each graduated response ships with its evidence timeline.
 func New(cfg Config, net *netsim.Network, act Actions, domains []Domain,
-	metrics *obs.Registry, tracer *obs.Tracer) (*Controller, error) {
+	metrics *obs.Registry, tracer *obs.Tracer, rec *flight.Recorder) (*Controller, error) {
 	cfg.fill()
 	if net == nil || act == nil {
 		return nil, fmt.Errorf("itc: controller needs a network and actions")
 	}
 	c := &Controller{
-		cfg:        cfg,
-		net:        net,
-		act:        act,
-		domains:    append([]Domain(nil), domains...),
-		metrics:    metrics,
-		tracer:     tracer,
-		scores:     make(map[memberKey]*suspicion),
-		evidence:   make(map[memberKey]*smiop.ChangeRequest),
-		accused:    make(map[memberKey]bool),
-		lastRekey:  make(map[string]time.Duration),
-		recovering: make(map[memberKey]bool),
-		recovered:  make(map[memberKey]int),
+		cfg:         cfg,
+		net:         net,
+		act:         act,
+		domains:     append([]Domain(nil), domains...),
+		metrics:     metrics,
+		tracer:      tracer,
+		flight:      rec,
+		scores:      make(map[memberKey]*suspicion),
+		evidence:    make(map[memberKey]*smiop.ChangeRequest),
+		accused:     make(map[memberKey]bool),
+		lastRekey:   make(map[string]time.Duration),
+		recovering:  make(map[memberKey]bool),
+		recovered:   make(map[memberKey]int),
+		snapshotted: make(map[memberKey]bool),
 	}
 	for _, d := range c.domains {
 		for i := 0; i < d.N; i++ {
@@ -224,6 +238,24 @@ func New(cfg Config, net *netsim.Network, act Actions, domains []Domain,
 // The harness enables tracing after system construction, so the
 // controller must accept it late.
 func (c *Controller) SetTracer(t *obs.Tracer) { c.tracer = t }
+
+// FlightDumps returns the flight-recorder snapshots taken so far, in
+// capture order (nil without a recorder). Each dump marks one threshold
+// crossing: a member's suspicion first reaching ExpelThreshold, or an
+// accusation being filed.
+func (c *Controller) FlightDumps() []*flight.Dump { return c.dumps }
+
+// record appends one controller event on the "itc" flight ring.
+func (c *Controller) record(kind flight.Kind, attr string) {
+	c.flight.Append(Identity, kind, 0, 0, 0, attr)
+}
+
+// snapshot captures every ring into a dump tagged with reason.
+func (c *Controller) snapshot(reason string) {
+	if d := c.flight.Snapshot(reason); d != nil {
+		c.dumps = append(c.dumps, d)
+	}
+}
 
 // Start arms the evaluation tick. Idempotent.
 func (c *Controller) Start() {
@@ -272,9 +304,17 @@ func (c *Controller) bump(domain string, member int, weight float64) *suspicion 
 		c.scores[k] = s
 		c.order = append(c.order, k)
 	}
-	s.value = s.decayed(now, c.cfg.HalfLife) + weight
+	prev := s.decayed(now, c.cfg.HalfLife)
+	s.value = prev + weight
 	s.at = now
 	s.gauge.Set(s.value)
+	// First crossing of the expulsion threshold: snapshot the flight
+	// recorder so the evidence timeline that raised the alarm is
+	// preserved before any response mutates the system.
+	if prev < c.cfg.ExpelThreshold && s.value >= c.cfg.ExpelThreshold && !c.snapshotted[k] {
+		c.snapshotted[k] = true
+		c.snapshot(fmt.Sprintf("suspicion threshold member=%s/r%d", k.domain, k.member))
+	}
 	return s
 }
 
@@ -300,6 +340,8 @@ func (c *Controller) Accused(domain string, member int) bool {
 // transferable-evidence bar; the controller retains it and files it once
 // suspicion crosses ExpelThreshold.
 func (c *Controller) ObserveFault(domain string, member int, acc *smiop.ChangeRequest) {
+	c.record(flight.KindFaultReported,
+		fmt.Sprintf("member=%s/r%d evidence=%v", domain, member, acc != nil))
 	c.bump(domain, member, c.cfg.FaultWeight)
 	if acc != nil {
 		c.evidence[memberKey{domain, member}] = acc
@@ -311,18 +353,21 @@ func (c *Controller) ObserveFault(domain string, member int, acc *smiop.ChangeRe
 // designated responder — weak evidence (a stalled digest vote does not
 // prove which member lied), so it only raises suspicion.
 func (c *Controller) ObserveFallback(domain string, member int) {
+	c.record(flight.KindDigestFallback, fmt.Sprintf("member=%s/r%d", domain, member))
 	c.bump(domain, member, c.cfg.WeakWeight)
 }
 
 // ObserveShareTamper records a corrupt DPRF share attributed to a Group
 // Manager element during key combination.
 func (c *Controller) ObserveShareTamper(member int) {
+	c.record(flight.KindShareTamper, fmt.Sprintf("member=%s/r%d", gmDomainName, member))
 	c.bump(gmDomainName, member, c.cfg.WeakWeight)
 }
 
 // ObserveRejectedProof records a change_request whose proof the Group
 // Manager rejected — evidence against the accuser, not the accused.
 func (c *Controller) ObserveRejectedProof(domain string, member int) {
+	c.record(flight.KindProofRejected, fmt.Sprintf("accuser=%s/r%d", domain, member))
 	c.bump(domain, member, c.cfg.WeakWeight)
 }
 
@@ -345,7 +390,9 @@ func (c *Controller) maybeExpel(k memberKey) {
 	}
 	c.accused[k] = true
 	c.mExpulsions.Inc()
+	c.record(flight.KindExpulsionFiled, fmt.Sprintf("member=%s/r%d", k.domain, k.member))
 	c.event("itc.expel", fmt.Sprintf("member=%s/r%d", k.domain, k.member))
+	c.snapshot(fmt.Sprintf("expulsion filed member=%s/r%d", k.domain, k.member))
 }
 
 func (c *Controller) tick() {
@@ -374,6 +421,7 @@ func (c *Controller) tick() {
 				c.lastRekey[d.Name] = now
 				c.act.RequestRekey(d.Name)
 				c.mRekeys.Inc()
+				c.record(flight.KindRekey, "domain="+d.Name)
 				c.event("itc.rekey", "domain="+d.Name)
 			}
 		}
@@ -420,6 +468,7 @@ func (c *Controller) rotateRecovery() {
 			c.active--
 			c.recovering[k] = false
 			c.recovered[k]++
+			c.record(flight.KindRecoveryComplete, fmt.Sprintf("member=%s/r%d", k.domain, k.member))
 			c.event("itc.recovered", fmt.Sprintf("member=%s/r%d", k.domain, k.member))
 		}) {
 			continue
@@ -427,6 +476,7 @@ func (c *Controller) rotateRecovery() {
 		c.active++
 		c.recovering[k] = true
 		c.mRecoveries.Inc()
+		c.record(flight.KindRecoveryStart, fmt.Sprintf("member=%s/r%d", k.domain, k.member))
 		c.event("itc.recover", fmt.Sprintf("member=%s/r%d", k.domain, k.member))
 		return
 	}

@@ -6,6 +6,7 @@ import (
 
 	"itdos/internal/netsim"
 	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/smiop"
 )
 
@@ -54,7 +55,8 @@ func (a *fakeActions) IsPrimary(domain string, member int) bool {
 func newTestController(t *testing.T, cfg Config, act Actions) (*Controller, *netsim.Network) {
 	t.Helper()
 	net := netsim.NewNetwork(1, netsim.ConstantLatency(time.Millisecond))
-	ctrl, err := New(cfg, net, act, []Domain{{Name: "calc", N: 4, F: 1}}, obs.NewRegistry(), nil)
+	ctrl, err := New(cfg, net, act, []Domain{{Name: "calc", N: 4, F: 1}}, obs.NewRegistry(), nil,
+		flight.NewRecorder(net, 64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,6 +136,61 @@ func TestEvidenceGatedExpulsion(t *testing.T) {
 	ctrl.ObserveFault("calc", 0, nil)
 	if len(act.filed) != 1 {
 		t.Fatalf("accused an expelled member: %d filings", len(act.filed))
+	}
+}
+
+func TestFlightSnapshotsAtThresholds(t *testing.T) {
+	act := newFakeActions()
+	ctrl, _ := newTestController(t, Config{HalfLife: time.Hour, ExpelThreshold: 1.5}, act)
+	acc := &smiop.ChangeRequest{TargetDomain: "calc", Accused: 2}
+	// Below threshold nothing is snapshotted.
+	ctrl.ObserveFault("calc", 2, acc)
+	if n := len(ctrl.FlightDumps()); n != 0 {
+		t.Fatalf("dumps below threshold = %d, want 0", n)
+	}
+	// Crossing the threshold snapshots once for the crossing and once for
+	// the accusation the retained evidence files.
+	ctrl.ObserveFault("calc", 2, nil)
+	dumps := ctrl.FlightDumps()
+	if len(dumps) != 2 {
+		t.Fatalf("dumps after crossing = %d, want 2", len(dumps))
+	}
+	if want := "suspicion threshold member=calc/r2"; dumps[0].Reason != want {
+		t.Fatalf("dump[0].Reason = %q, want %q", dumps[0].Reason, want)
+	}
+	if want := "expulsion filed member=calc/r2"; dumps[1].Reason != want {
+		t.Fatalf("dump[1].Reason = %q, want %q", dumps[1].Reason, want)
+	}
+	// The controller's own ring carries the evidence chain: every
+	// fault-reported event precedes the expulsion-filed event in vtime.
+	var itcLog *flight.ReplicaLog
+	for i := range dumps[1].Replicas {
+		if dumps[1].Replicas[i].Identity == Identity {
+			itcLog = &dumps[1].Replicas[i]
+		}
+	}
+	if itcLog == nil {
+		t.Fatalf("no %q replica log in dump", Identity)
+	}
+	faults, filedAt := 0, int64(-1)
+	for _, ev := range itcLog.Events {
+		switch ev.Kind {
+		case "fault-reported":
+			faults++
+			if filedAt >= 0 && ev.VTUS > filedAt {
+				t.Fatalf("fault-reported at %dus after expulsion-filed at %dus", ev.VTUS, filedAt)
+			}
+		case "expulsion-filed":
+			filedAt = ev.VTUS
+		}
+	}
+	if faults != 2 || filedAt < 0 {
+		t.Fatalf("evidence chain = %d faults, filed=%v, want 2 faults then a filing", faults, filedAt >= 0)
+	}
+	// Repeat faults against an accused member add no further snapshots.
+	ctrl.ObserveFault("calc", 2, acc)
+	if n := len(ctrl.FlightDumps()); n != 2 {
+		t.Fatalf("dumps after re-fault = %d, want 2", n)
 	}
 }
 

@@ -1,0 +1,140 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SchemaVersion identifies the FLIGHT_*.json layout. Bump it whenever a
+// field is added, removed or re-interpreted so downstream consumers
+// (forensic viewers, CI artifact diffing) can reject files they don't
+// understand.
+const SchemaVersion = "itdos-flight/1"
+
+// EventJSON is the machine-readable form of one event. Times are virtual
+// microseconds since simulation start; zero-valued coordinates are
+// omitted.
+type EventJSON struct {
+	VTUS int64  `json:"vt_us"`
+	Kind string `json:"kind"`
+	View uint64 `json:"view,omitempty"`
+	Seq  uint64 `json:"seq,omitempty"`
+	Span uint64 `json:"span,omitempty"`
+	Attr string `json:"attr,omitempty"`
+}
+
+// ReplicaLog is one replica's timeline inside a dump, oldest event first.
+// Dropped counts events lost to ring wrap-around, so truncation is
+// explicit.
+type ReplicaLog struct {
+	Identity string      `json:"identity"`
+	Dropped  uint64      `json:"dropped,omitempty"`
+	Events   []EventJSON `json:"events"`
+}
+
+// Dump is a schema-pinned snapshot of every replica ring: the evidence
+// timeline shipped with a graduated response. Replicas are sorted by
+// identity and events are virtual-time-stamped, so the same seed yields a
+// byte-identical dump.
+type Dump struct {
+	Schema   string       `json:"schema"`
+	Reason   string       `json:"reason"`
+	VTUS     int64        `json:"vt_us"`
+	Replicas []ReplicaLog `json:"replicas"`
+}
+
+// Snapshot captures every ring into a dump tagged with reason, taken at
+// the current virtual time. Returns nil on a nil recorder.
+func (r *Recorder) Snapshot(reason string) *Dump {
+	if r == nil {
+		return nil
+	}
+	d := &Dump{Schema: SchemaVersion, Reason: reason}
+	if r.clock != nil {
+		d.VTUS = int64(r.clock.Now() / time.Microsecond)
+	}
+	ids := append([]string(nil), r.order...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		rg := r.rings[id]
+		log := ReplicaLog{Identity: id, Dropped: rg.dropped, Events: []EventJSON{}}
+		for _, e := range rg.ordered() {
+			log.Events = append(log.Events, EventJSON{
+				VTUS: int64(e.VT / time.Microsecond),
+				Kind: e.Kind.String(),
+				View: e.View, Seq: e.Seq, Span: e.Span, Attr: e.Attr,
+			})
+		}
+		d.Replicas = append(d.Replicas, log)
+	}
+	return d
+}
+
+// WriteJSON writes the dump as indented JSON, trailing newline included —
+// the machine-readable sibling of Render. A nil dump writes nothing.
+func (d *Dump) WriteJSON(w io.Writer) error {
+	if d == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Render prints the dump as per-replica causal timelines, one line per
+// event:
+//
+//	== calc/r2 (5 events)
+//	[  12.345ms] fault-reported        span=7 member=calc/r2
+//
+// A nil dump renders nothing.
+func (d *Dump) Render(w io.Writer) error {
+	if d == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "flight dump %q at vt=%.3fms, %d replicas\n",
+		d.Reason, float64(d.VTUS)/1000, len(d.Replicas)); err != nil {
+		return err
+	}
+	for _, rl := range d.Replicas {
+		header := fmt.Sprintf("== %s (%d events", rl.Identity, len(rl.Events))
+		if rl.Dropped > 0 {
+			header += fmt.Sprintf(", %d dropped", rl.Dropped)
+		}
+		if _, err := fmt.Fprintln(w, header+")"); err != nil {
+			return err
+		}
+		for _, e := range rl.Events {
+			line := fmt.Sprintf("[%10.3fms] %-18s", float64(e.VTUS)/1000, e.Kind)
+			if e.View != 0 || e.Seq != 0 {
+				line += fmt.Sprintf(" view=%d seq=%d", e.View, e.Seq)
+			}
+			if e.Span != 0 {
+				line += fmt.Sprintf(" span=%d", e.Span)
+			}
+			if e.Attr != "" {
+				line += " " + e.Attr
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadDump parses a dump previously written by WriteJSON, rejecting
+// unknown schemas.
+func ReadDump(rd io.Reader) (*Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(rd).Decode(&d); err != nil {
+		return nil, err
+	}
+	if d.Schema != SchemaVersion {
+		return nil, fmt.Errorf("flight: unknown dump schema %q (want %q)", d.Schema, SchemaVersion)
+	}
+	return &d, nil
+}

@@ -191,6 +191,53 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing bucket — the same estimate Prometheus's
+// histogram_quantile makes. Observations in the overflow bucket clamp to
+// the largest finite bound (a fixed-bucket histogram cannot see past it).
+// Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		prev := cum
+		cum += h.counts[i]
+		if float64(cum) >= rank {
+			if h.counts[i] == 0 {
+				return b
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if lower > b {
+				lower = b
+			}
+			frac := (rank - float64(prev)) / float64(h.counts[i])
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + (b-lower)*frac
+		}
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return h.sum / float64(h.n)
+}
+
 // BucketCounts returns a copy of the per-bucket counts (one more entry
 // than bounds; the last is the overflow bucket).
 func (h *Histogram) BucketCounts() []uint64 {
@@ -198,6 +245,18 @@ func (h *Histogram) BucketCounts() []uint64 {
 		return nil
 	}
 	return append([]uint64(nil), h.counts...)
+}
+
+// EachHistogram calls fn for every registered histogram in sorted key
+// order ("name{k=v,...}"). Nil-safe: a nil registry visits nothing.
+func (r *Registry) EachHistogram(fn func(key string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	_, _, hists := r.sortedKeys()
+	for _, k := range hists {
+		fn(k, r.hists[k])
+	}
 }
 
 // --- exposition ---

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promSeries is one exposition line: a family name, rendered labels and a
+// value column.
+type promSeries struct {
+	labels string // rendered {k="v",...} or ""
+	lines  []string
+}
+
+// splitKey splits a stored instrument key "name{k=v,...}" back into the
+// family name and its labels (nil without labels).
+func splitKey(key string) (name string, labels []string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, nil
+	}
+	name = key[:i]
+	body := strings.TrimSuffix(key[i+1:], "}")
+	if body == "" {
+		return name, nil
+	}
+	return name, strings.Split(body, ",")
+}
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders pre-formatted "key=value" labels (plus any extras)
+// as a {k="v",...} block. Labels that lack an '=' become a value under
+// the key "label".
+func promLabels(labels []string, extra ...string) string {
+	all := append(append([]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(all))
+	for _, l := range all {
+		k, v, ok := strings.Cut(l, "=")
+		if !ok {
+			k, v = "label", l
+		}
+		parts = append(parts, k+`="`+promEscape(v)+`"`)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promFloat renders a sample value (Go %g covers the format's needs).
+func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WriteProm renders the registry in Prometheus text exposition format
+// 0.0.4: one # TYPE header per metric family, series sorted by name then
+// labels, histograms as cumulative _bucket/_sum/_count series. It is a
+// pure function over the registry — same contents, same bytes — so
+// deterministic netsim runs stay deterministic, and the cluster harness
+// can serve it from a /metrics handler unchanged.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		typ    string
+		series []promSeries
+	}
+	fams := make(map[string]*family)
+	add := func(key, typ string, render func(labels string) []string) {
+		name, labels := splitKey(key)
+		f := fams[name]
+		if f == nil {
+			f = &family{typ: typ}
+			fams[name] = f
+		}
+		lb := promLabels(labels)
+		f.series = append(f.series, promSeries{labels: lb, lines: render(lb)})
+	}
+	for key, c := range r.counters {
+		v := c.v
+		add(key, "counter", func(lb string) []string {
+			name, _ := splitKey(key)
+			return []string{fmt.Sprintf("%s%s %d", name, lb, v)}
+		})
+	}
+	for key, g := range r.gauges {
+		v := g.v
+		add(key, "gauge", func(lb string) []string {
+			name, _ := splitKey(key)
+			return []string{fmt.Sprintf("%s%s %s", name, lb, promFloat(v))}
+		})
+	}
+	for key, h := range r.hists {
+		h := h
+		add(key, "histogram", func(string) []string {
+			name, labels := splitKey(key)
+			var lines []string
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				lines = append(lines, fmt.Sprintf("%s_bucket%s %d",
+					name, promLabels(labels, "le="+promFloat(b)), cum))
+			}
+			cum += h.counts[len(h.bounds)]
+			lines = append(lines,
+				fmt.Sprintf("%s_bucket%s %d", name, promLabels(labels, "le=+Inf"), cum),
+				fmt.Sprintf("%s_sum%s %s", name, promLabels(labels), promFloat(h.sum)),
+				fmt.Sprintf("%s_count%s %d", name, promLabels(labels), h.n))
+			return lines
+		})
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			for _, line := range s.lines {
+				if _, err := fmt.Fprintln(w, line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"itdos/internal/cdr"
 	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/quorum"
 )
 
@@ -84,6 +85,10 @@ type Config struct {
 	// across replicas of the same group so they count group-wide events.
 	Metrics      *obs.Registry
 	MetricsLabel string
+	// Flight, if non-nil, receives typed protocol events on this replica's
+	// own ring (identity "MetricsLabel/rID"). Nil — the default — records
+	// nothing and leaves behaviour byte-identical.
+	Flight *flight.Recorder
 }
 
 func (c *Config) fill() error {
@@ -223,6 +228,9 @@ type Replica struct {
 	mRecoveries     *obs.Counter
 	hBatchSize      *obs.Histogram
 	gBacklog        *obs.Gauge
+
+	// flightID names this replica's flight-recorder ring.
+	flightID string
 }
 
 // NewReplica constructs a replica over app and env.
@@ -262,10 +270,17 @@ func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}, label)
 		r.gBacklog = m.Gauge("pbft_primary_backlog", label)
 	}
+	r.flightID = fmt.Sprintf("%s/r%d", cfg.MetricsLabel, cfg.ID)
 	// Seq 0 is the genesis stable checkpoint; its snapshot is the initial
 	// state so peers can bootstrap from it.
 	r.snapshots[0] = r.stateBytes()
 	return r, nil
+}
+
+// record appends a flight-recorder event on this replica's ring (no-op
+// without a recorder).
+func (r *Replica) record(kind flight.Kind, view, seq uint64, attr string) {
+	r.cfg.Flight.Append(r.flightID, kind, view, seq, 0, attr)
 }
 
 // ID returns the replica's index.
@@ -505,6 +520,7 @@ func (r *Replica) proposeBatch(batch []*Request) {
 	}
 	r.broadcast(pp)
 	r.mPrePrepares.Inc()
+	r.record(flight.KindBatchProposed, pp.View, pp.Seq, fmt.Sprintf("n=%d", len(batch)))
 	r.acceptPrePrepare(pp)
 	r.armTimer()
 }
@@ -769,6 +785,7 @@ func (r *Replica) executeEntry(seq uint64, en *entry) {
 	r.lastExec = seq
 	r.mExecutions.Inc()
 	pp := en.prePrepare
+	r.record(flight.KindBatchCommitted, pp.View, seq, fmt.Sprintf("n=%d", len(pp.Requests)))
 	if len(pp.Requests) > 0 {
 		r.mBatches.Inc()
 		r.mBatchedReqs.Add(uint64(len(pp.Requests)))
@@ -814,6 +831,7 @@ func (r *Replica) executeEntry(seq uint64, en *entry) {
 		// of recovery (a restored checkpoint alone can still be behind
 		// requests ordered after it was taken).
 		r.recovering = false
+		r.record(flight.KindRecoveryComplete, r.view, seq, "")
 		if r.OnRecovered != nil {
 			r.OnRecovered(seq)
 		}
@@ -1009,6 +1027,7 @@ func (r *Replica) stabilise(seq uint64, proof []*Checkpoint) {
 // window live while the recovering replica is out.
 func (r *Replica) Recover() {
 	r.mRecoveries.Inc()
+	r.record(flight.KindRecoveryStart, r.view, r.lastExec, "")
 	r.recovering = true
 	// r.view deliberately survives; peers' traffic re-teaches it anyway.
 	r.seq = 0

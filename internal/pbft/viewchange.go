@@ -3,6 +3,7 @@ package pbft
 import (
 	"sort"
 
+	"itdos/internal/obs/flight"
 	"itdos/internal/quorum"
 )
 
@@ -37,6 +38,7 @@ func (r *Replica) startViewChange(newView uint64) {
 	}
 	r.broadcast(vc)
 	r.mViewChanges.Inc()
+	r.record(flight.KindViewChange, newView, r.lowWater, "")
 	r.recordViewChange(vc)
 	// If the new primary stalls, escalate to the next view.
 	r.armTimerAlways()
@@ -237,6 +239,7 @@ func (r *Replica) installNewView(nv *NewView) {
 	r.view = nv.View
 	r.inViewChange = false
 	r.mNewViews.Inc()
+	r.record(flight.KindNewView, nv.View, r.lowWater, "")
 
 	minS, maxS := viewChangeBounds(nv.ViewChanges)
 	if minS > r.lowWater {

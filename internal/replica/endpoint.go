@@ -808,6 +808,8 @@ func (ep *endpoint) installConn(b *smiop.ShareBundle, peer smiop.PeerInfo, initi
 		VerifySig:   ep.sys.verifyData(),
 		Metrics:     ep.sys.cfg.Metrics,
 		Tracer:      ep.sys.tracer,
+		Flight:      ep.sys.cfg.Flight,
+		FlightID:    ep.identity,
 	})
 	if err != nil {
 		return

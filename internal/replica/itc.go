@@ -16,7 +16,7 @@ func (sys *System) buildITC() error {
 		domains = append(domains, itc.Domain{Name: d.Name, N: d.N, F: d.F})
 	}
 	ctrl, err := itc.New(*sys.cfg.ITC, sys.Net, &itcActions{sys: sys}, domains,
-		sys.cfg.Metrics, sys.tracer)
+		sys.cfg.Metrics, sys.tracer, sys.cfg.Flight)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ import (
 	"itdos/internal/itc"
 	"itdos/internal/netsim"
 	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/orb"
 	"itdos/internal/pbft"
 	"itdos/internal/quorum"
@@ -126,6 +127,14 @@ type SystemConfig struct {
 	// layer of the stack (ORB, SMIOP, SRM/PBFT, voting, Group Manager).
 	// Nil disables metrics at near-zero cost (one nil check per event).
 	Metrics *obs.Registry
+
+	// Flight, if non-nil, is the black-box flight recorder: a per-replica
+	// ring of typed protocol events (view changes, batches, vote
+	// decisions, fault reports, rekeys, expulsions, recoveries) on the
+	// virtual clock. The intrusion-tolerance controller snapshots it at
+	// threshold crossings; Snapshot/Render expose it on demand. Nil — the
+	// default — records nothing and keeps every recording byte-identical.
+	Flight *flight.Recorder
 }
 
 func (c *SystemConfig) fill() error {
@@ -228,6 +237,9 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		clients:    make(map[string]*Client),
 		gmInfo:     smiop.PeerInfo{Name: GMDomainName, N: cfg.GM.N, F: cfg.GM.F},
 	}
+	// An unbound flight recorder stamps events from this deployment's
+	// virtual clock (first non-nil clock wins; nil recorder no-ops).
+	sys.cfg.Flight.Bind(sys.Net)
 
 	// Global element/client identities.
 	for j := 0; j < cfg.GM.N; j++ {
@@ -415,6 +427,7 @@ func (sys *System) buildGM() error {
 		BatchWait:          sys.cfg.BatchWait,
 		Ring:               ring,
 		Metrics:            sys.cfg.Metrics,
+		Flight:             sys.cfg.Flight,
 	})
 	if err != nil {
 		return err
@@ -469,6 +482,7 @@ func (sys *System) buildGM() error {
 			Controller:      controller,
 			OnRejectedProof: onRejected,
 			Metrics:         sys.cfg.Metrics,
+			Flight:          sys.cfg.Flight,
 		})
 		if err != nil {
 			return err
@@ -524,6 +538,7 @@ func (sys *System) buildDomain(spec DomainSpec) error {
 		BatchWait:          sys.cfg.BatchWait,
 		Ring:               ring,
 		Metrics:            sys.cfg.Metrics,
+		Flight:             sys.cfg.Flight,
 	})
 	if err != nil {
 		return err
@@ -614,6 +629,9 @@ func (sys *System) Registry() *idl.Registry { return sys.registry }
 
 // Metrics returns the system's metrics registry (nil when unobserved).
 func (sys *System) Metrics() *obs.Registry { return sys.cfg.Metrics }
+
+// Flight returns the system's flight recorder (nil when disabled).
+func (sys *System) Flight() *flight.Recorder { return sys.cfg.Flight }
 
 // EnableTracing turns on invocation tracing over the simulator's virtual
 // clock and returns the tracer. Call it before driving traffic: streams

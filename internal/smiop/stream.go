@@ -8,6 +8,7 @@ import (
 	"itdos/internal/giop"
 	"itdos/internal/idl"
 	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/quorum"
 	"itdos/internal/vote"
 )
@@ -95,6 +96,11 @@ type StreamConfig struct {
 	// nil-safe.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Flight, if non-nil, receives voting events (decision, fault report,
+	// fallback) on the ring named FlightID — the identity of the element
+	// (or client) owning this stream. Nil records nothing.
+	Flight   *flight.Recorder
+	FlightID string
 }
 
 // Stream is the inbound half of a connection at one element: it
@@ -437,6 +443,8 @@ func (s *Stream) deliverDecision(dec *vote.Decision) error {
 	}
 	s.mDecisions.Inc()
 	s.hReceived.Observe(float64(dec.Received))
+	s.cfg.Flight.Append(s.cfg.FlightID, flight.KindVoteDecided, 0, 0,
+		s.cv.CurrentID(), fmt.Sprintf("received=%d", dec.Received))
 	var val *MessageVal
 	if s.cfg.ByteVoting {
 		rawPayload, err := DecodeSignedPayload(dec.Raw)
@@ -590,6 +598,8 @@ func (s *Stream) submitDigest(requestID uint64, sub vote.DigestSubmission) error
 	s.mDecisions.Inc()
 	s.mDigestDecisions.Inc()
 	s.hReceived.Observe(float64(dec.Received))
+	s.cfg.Flight.Append(s.cfg.FlightID, flight.KindVoteDecided, 0, 0,
+		requestID, fmt.Sprintf("path=digest received=%d", dec.Received))
 	if s.OnMessage != nil {
 		dsp := s.cfg.Tracer.Start("vote.decide",
 			fmt.Sprintf("received=%d", dec.Received),
@@ -617,6 +627,8 @@ func (s *Stream) maybeFallback(requestID uint64) {
 	}
 	s.fallbackFired = true
 	s.mFallbacks.Inc()
+	s.cfg.Flight.Append(s.cfg.FlightID, flight.KindDigestFallback, 0, 0,
+		requestID, "cause=stall")
 	s.OnFallback(requestID)
 }
 
@@ -629,6 +641,8 @@ func (s *Stream) NoteFallback() {
 	}
 	s.fallbackFired = true
 	s.mFallbacks.Inc()
+	s.cfg.Flight.Append(s.cfg.FlightID, flight.KindDigestFallback, 0, 0,
+		s.cv.CurrentID(), "cause=timeout")
 }
 
 // buildVal decodes a GIOP message into a MessageVal (used by the
@@ -666,6 +680,8 @@ func (s *Stream) reportFaults() {
 		f := faults[s.faultsForwarded]
 		s.faultsForwarded++
 		s.mFaults.Inc()
+		s.cfg.Flight.Append(s.cfg.FlightID, flight.KindFaultReported, 0, 0,
+			s.cv.CurrentID(), fmt.Sprintf("member=%d", f.Member))
 		s.OnFault(f.Member, f)
 	}
 }

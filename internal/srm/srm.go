@@ -27,6 +27,7 @@ import (
 	"itdos/internal/cdr"
 	"itdos/internal/netsim"
 	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/pbft"
 )
 
@@ -192,6 +193,10 @@ type Element struct {
 	// Delivery counters (nil-safe; nil when the domain is unobserved).
 	mDelivered *obs.Counter
 	mDesyncs   *obs.Counter
+
+	// Flight ring for this element (nil recorder no-ops).
+	flight   *flight.Recorder
+	flightID string
 }
 
 // Domain is a replication domain: a named group of SRM elements sharing a
@@ -224,6 +229,9 @@ type DomainConfig struct {
 	// Metrics, if non-nil, receives SRM delivery counters and the
 	// underlying PBFT group's phase counters, labelled with Name.
 	Metrics *obs.Registry
+	// Flight, if non-nil, receives per-element protocol events (PBFT
+	// ordering and SRM desyncs) on rings named "Name/rI".
+	Flight *flight.Recorder
 }
 
 // NewDomain builds a replication domain on the simulated network.
@@ -244,6 +252,7 @@ func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
 		BatchWait:          cfg.BatchWait,
 		Metrics:            cfg.Metrics,
 		MetricsLabel:       cfg.Name,
+		Flight:             cfg.Flight,
 	}, cfg.Ring, func(i int) pbft.App {
 		el := elements[i]
 		el.queue = NewQueue(cfg.QueueCapacity, func(seq uint64, sender string, data []byte) {
@@ -260,6 +269,8 @@ func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
 	}
 	for i, el := range elements {
 		el.Replica = group.Replicas[i]
+		el.flight = cfg.Flight
+		el.flightID = fmt.Sprintf("%s/r%d", cfg.Name, i)
 		if cfg.Metrics != nil {
 			el.mDelivered = cfg.Metrics.Counter("srm_delivered_total", "group="+cfg.Name)
 			el.mDesyncs = cfg.Metrics.Counter("srm_desyncs_total", "group="+cfg.Name)
@@ -322,6 +333,8 @@ func (el *Element) Resynchronise() {
 
 func (el *Element) desync(gapStart, gapEnd uint64) {
 	el.mDesyncs.Inc()
+	el.flight.Append(el.flightID, flight.KindDesync, 0, gapStart,
+		0, fmt.Sprintf("gap=%d-%d", gapStart, gapEnd))
 	if el.OnDesync != nil {
 		el.OnDesync(gapStart, gapEnd)
 	}

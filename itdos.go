@@ -52,6 +52,7 @@ import (
 	"itdos/internal/itc"
 	"itdos/internal/netsim"
 	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/orb"
 	"itdos/internal/replica"
 	"itdos/internal/vote"
@@ -211,6 +212,19 @@ type Span = obs.Span
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// FlightRecorder is the per-replica ring buffer of protocol events.
+// Pass one in Config.Flight to capture forensic timelines; the nil
+// default records nothing and changes no behaviour.
+type FlightRecorder = flight.Recorder
+
+// FlightDump is one schema-pinned snapshot of a flight recorder.
+type FlightDump = flight.Dump
+
+// NewFlightRecorder returns a flight recorder for Config.Flight.
+// capacity <= 0 selects the default per-replica ring size; NewSystem
+// binds the simulator's virtual clock when it builds the network.
+func NewFlightRecorder(capacity int) *FlightRecorder { return flight.New(capacity) }
 
 // --- simulation helpers ---
 
