@@ -9,12 +9,14 @@ FUZZTIME ?= 30s
 check: build vet lint race
 
 # Perf regression guards: batched ordering keeps its msgs/request win (P1),
-# digest replies keep their bytes/call win (P2), and the read-only fast path
-# keeps its msgs+latency win (P3); see EXPERIMENTS.md. CI runs this next to
-# the tier-1 recipe.
+# digest replies keep their bytes/call win (P2), the read-only fast path
+# keeps its msgs+latency win (P3), the pooled seal chain keeps its
+# allocs/request win (P4), and tentative execution keeps its one-round
+# latency win plus its clean lying-replica fallback (P5); see
+# EXPERIMENTS.md. CI runs this next to the tier-1 recipe.
 .PHONY: check-perf
 check-perf:
-	$(GO) run ./cmd/itdos-bench -check P1,P2,P3
+	$(GO) run ./cmd/itdos-bench -check P1,P2,P3,P4,P5
 
 # Adversary campaign suite: seeded multi-stage campaigns (C9 slow
 # compromise + collusion, C10 lying designated responder under churn, C11
@@ -62,6 +64,18 @@ bench-json:
 	$(GO) run ./cmd/itdos-bench -json -out bench-out
 	$(GO) run ./cmd/itdos-demo -calls 2 -trace > bench-out/TRACE_sample.txt
 	$(GO) run ./cmd/itdos-demo -calls 2 -trace-json > bench-out/TRACE_sample.json
+
+# Allocation profile of the reply seal chain (the zero-copy tentpole's
+# hot path): -benchmem numbers for the legacy copying pipeline vs the
+# pooled wire path, written to bench-out/ for the CI artifact, plus the
+# budget gate — TestSealChainAllocBudget fails when allocs/op regresses
+# more than 10% over the committed baseline in
+# internal/smiop/testdata/alloc_budget.json.
+.PHONY: bench-mem
+bench-mem:
+	mkdir -p bench-out
+	$(GO) test -run='^$$' -bench='BenchmarkSealChain' -benchmem ./internal/smiop | tee bench-out/BENCHMEM.txt
+	$(GO) test -run=TestSealChainAllocBudget -v ./internal/smiop
 
 # Continuous fuzzing of each decoder boundary, FUZZTIME per target.
 fuzz:

@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"itdos/internal/bench"
 )
@@ -59,6 +60,10 @@ func run(args []string) error {
 				"digest replies cut bytes/call >= 3.0x at 256 KiB"},
 			"P3": {func() error { return bench.CheckP3(2.0) },
 				"read-only fast path >= 2.0x fewer msgs/get and lower latency"},
+			"P4": {func() error { return bench.CheckP4(2.0) },
+				"pooled seal chain >= 2.0x fewer allocs/req at 4 KiB"},
+			"P5": {func() error { return bench.CheckP5(time.Millisecond) },
+				"tentative replies >= 1 virtual round early, clean liar fallback"},
 			"C9": {func() error { return bench.CheckCampaign("C9") },
 				"campaign: slow compromise stays, collusion expelled <= f"},
 			"C10": {func() error { return bench.CheckCampaign("C10") },
@@ -70,7 +75,7 @@ func run(args []string) error {
 			id = strings.ToUpper(strings.TrimSpace(id))
 			c, ok := checks[id]
 			if !ok {
-				return fmt.Errorf("unknown check %q (available: P1, P2, P3, C9, C10, C11)", id)
+				return fmt.Errorf("unknown check %q (available: P1, P2, P3, P4, P5, C9, C10, C11)", id)
 			}
 			if err := c.run(); err != nil {
 				return err

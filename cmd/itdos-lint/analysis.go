@@ -50,6 +50,7 @@ var allChecks = []*Check{
 	checkTickerLeak,
 	checkBoundedDecode,
 	checkFlightNil,
+	checkPoolReturn,
 }
 
 func lookupChecks(names string) ([]*Check, error) {

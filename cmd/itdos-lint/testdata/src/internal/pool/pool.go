@@ -1,0 +1,33 @@
+// Package pool mirrors the real internal/pool API surface the
+// pool-return check matches on (package path suffix internal/pool, Get,
+// and the Buffer methods), so the fixture module stays self-contained.
+package pool
+
+// Buffer is one reference-counted arena buffer.
+type Buffer struct {
+	B    []byte
+	refs int
+}
+
+// Get returns a buffer with one reference owned by the caller.
+func Get(hint int) *Buffer {
+	return &Buffer{B: make([]byte, 0, hint), refs: 1}
+}
+
+// Retain takes an additional reference for a second owner.
+func (b *Buffer) Retain() *Buffer {
+	b.refs++
+	return b
+}
+
+// Release drops one reference.
+func (b *Buffer) Release() {
+	b.refs--
+}
+
+// Detach takes the bytes out of the arena and releases the reference.
+func (b *Buffer) Detach() []byte {
+	out := append([]byte(nil), b.B...)
+	b.Release()
+	return out
+}

@@ -1,0 +1,38 @@
+// Package smiop holds fixtures for the pool-return check (scoped to the
+// pooled-buffer packages; this directory sits under internal/smiop).
+package smiop
+
+import "fixture/internal/pool"
+
+type conn struct {
+	fragSize int
+	spare    *pool.Buffer
+}
+
+func (c *conn) leakOnEarlyReturn(n int) int {
+	b := pool.Get(n) // want:pool-return
+	if n > c.fragSize {
+		return 0 // leaks the arena reference on this path
+	}
+	b.Release()
+	return len(b.B)
+}
+
+func (c *conn) neverReleases(n int) {
+	b := pool.Get(n) // want:pool-return
+	b.B = append(b.B, 0x5A)
+}
+
+func (c *conn) discardedStatement() {
+	pool.Get(64) // want:pool-return
+}
+
+func (c *conn) discardedBlank() {
+	_ = pool.Get(64) // want:pool-return
+}
+
+func (c *conn) suppressedScratch(n int) {
+	//itdos:nolint pool-return -- scratch outlives this frame; the send queue releases it on drain
+	b := pool.Get(n)
+	c.spare.B = append(c.spare.B, b.B...)
+}

@@ -130,6 +130,8 @@ func All() []Experiment {
 		{"P1", "offered load vs amortised ordering cost", P1},
 		{"P2", "digest replies on the large-object workload", P2},
 		{"P3", "read-only fast path vs ordered invocation", P3},
+		{"P4", "seal-chain heap cost: pooled vs copying pipeline", P4},
+		{"P5", "tentative execution vs committed replies", P5},
 	}
 }
 

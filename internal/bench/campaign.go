@@ -8,6 +8,7 @@ import (
 	"itdos/internal/cdr"
 	"itdos/internal/fault"
 	"itdos/internal/itc"
+	"itdos/internal/obs"
 	"itdos/internal/obs/flight"
 	"itdos/internal/orb"
 	"itdos/internal/replica"
@@ -95,6 +96,22 @@ func flightArtifact(t *Table, d *flight.Dump) error {
 		t.Artifacts = make(map[string][]byte)
 	}
 	t.Artifacts["FLIGHT_"+t.ID+".json"] = buf.Bytes()
+	return nil
+}
+
+// traceArtifact renders a span forest into t.Artifacts as TRACE_<name>.
+// The determinism regressions compare these byte-for-byte across seeded
+// re-runs: pooled-buffer reuse in the zero-copy pipeline must never leak
+// into observable span ordering or content.
+func traceArtifact(t *Table, name string, tr *obs.Tracer) error {
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		return err
+	}
+	if t.Artifacts == nil {
+		t.Artifacts = make(map[string][]byte)
+	}
+	t.Artifacts[name] = buf.Bytes()
 	return nil
 }
 
@@ -328,6 +345,7 @@ func C10() (*Table, error) {
 		return nil, err
 	}
 	defer sys.Close()
+	tr := sys.EnableTracing()
 
 	out := func() bool { return sys.GMManagers[0].IsExpelled("calc", 2) }
 	pre := 0
@@ -391,6 +409,9 @@ func C10() (*Table, error) {
 		"r2 only (<= f)",
 		fmt.Sprintf("%d", clientEra(sys, "calc")),
 	})
+	if err := traceArtifact(t, "TRACE_C10.json", tr); err != nil {
+		return nil, err
+	}
 	t.Note = "a lying designated responder stalls the digest vote (weak fallback " +
 		"signal, +0.25 suspicion) and the redone full vote carries its lying full " +
 		"reply, producing a signed-message proof (+1.0, evidence retained); the " +

@@ -7,25 +7,30 @@ import (
 
 // TestC10FlightDeterministic pins the forensic property the flight dumps
 // are sold on: the campaign is driven entirely by seeded virtual time, so
-// re-running C10 must reproduce its expulsion dump byte for byte.
+// re-running C10 must reproduce its expulsion dump — and, with the pooled
+// zero-copy pipeline at defaults, its whole span forest — byte for byte.
 func TestC10FlightDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign run in -short mode")
 	}
-	runOnce := func() []byte {
+	runOnce := func() map[string][]byte {
 		t.Helper()
 		table, err := C10()
 		if err != nil {
 			t.Fatalf("C10: %v", err)
 		}
-		dump, ok := table.Artifacts["FLIGHT_C10.json"]
-		if !ok {
-			t.Fatal("C10 produced no FLIGHT_C10.json artifact")
+		for _, name := range []string{"FLIGHT_C10.json", "TRACE_C10.json"} {
+			if _, ok := table.Artifacts[name]; !ok {
+				t.Fatalf("C10 produced no %s artifact", name)
+			}
 		}
-		return dump
+		return table.Artifacts
 	}
 	first, second := runOnce(), runOnce()
-	if !bytes.Equal(first, second) {
-		t.Errorf("C10 flight dump not deterministic:\nfirst:\n%s\nsecond:\n%s", first, second)
+	for _, name := range []string{"FLIGHT_C10.json", "TRACE_C10.json"} {
+		if !bytes.Equal(first[name], second[name]) {
+			t.Errorf("C10 artifact %s not deterministic:\nfirst:\n%s\nsecond:\n%s",
+				name, first[name], second[name])
+		}
 	}
 }

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// runF1 runs F1 once and returns its rendered table plus artifacts.
+func runF1(t *testing.T) (tableJSON []byte, artifacts map[string][]byte) {
+	t.Helper()
+	table, err := F1()
+	if err != nil {
+		t.Fatalf("F1: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := table.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), table.Artifacts
+}
+
+// TestF1SpanForestDeterministic pins the zero-copy refactor's behavioural
+// invariant at defaults (pooled buffers on, tentative execution off): the
+// same seed must reproduce F1's rendered table, both arms' span forests,
+// and the Byzantine arm's flight dump byte for byte. Buffer reuse in the
+// marshal→seal→fragment pipeline must never leak into observable span
+// ordering, timing, or content.
+func TestF1SpanForestDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scenario run in -short mode")
+	}
+	tbl1, art1 := runF1(t)
+	tbl2, art2 := runF1(t)
+	if !bytes.Equal(tbl1, tbl2) {
+		t.Errorf("F1 table not deterministic:\nfirst:\n%s\nsecond:\n%s", tbl1, tbl2)
+	}
+	for _, name := range []string{"TRACE_F1_byz0.json", "TRACE_F1_byz1.json", "FLIGHT_F1.json"} {
+		a, ok := art1[name]
+		if !ok {
+			t.Fatalf("F1 produced no %s artifact", name)
+		}
+		if !bytes.Equal(a, art2[name]) {
+			t.Errorf("F1 artifact %s not deterministic:\nfirst:\n%s\nsecond:\n%s",
+				name, a, art2[name])
+		}
+	}
+}

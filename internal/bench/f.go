@@ -9,6 +9,7 @@ import (
 	"itdos/internal/giop"
 	"itdos/internal/netsim"
 	"itdos/internal/obs"
+	"itdos/internal/obs/flight"
 	"itdos/internal/orb"
 	"itdos/internal/pbft"
 	"itdos/internal/smiop"
@@ -28,10 +29,12 @@ func F1() (*Table, error) {
 		Metrics: obs.NewRegistry(),
 	}
 	for _, byz := range []int{0, 1} {
-		sys, err := newCalcSystem(calcOpts{seed: int64(100 + byz), metrics: t.Metrics})
+		rec := flight.New(0)
+		sys, err := newCalcSystem(calcOpts{seed: int64(100 + byz), metrics: t.Metrics, flight: rec})
 		if err != nil {
 			return nil, err
 		}
+		tr := sys.EnableTracing()
 		proxy := firewall.New(firewall.Policy{}, sys.Domain("calc").Dom.Addrs())
 		sys.Net.AddFilter(proxy.Filter())
 		alice := sys.Client("alice")
@@ -61,6 +64,19 @@ func F1() (*Table, error) {
 			ms(d.elapsed()),
 			fmt.Sprintf("%d", proxy.Stats().Passed),
 		})
+		// Attach the span forest and (for the Byzantine arm) the flight
+		// dump — the determinism regression compares them across seeded
+		// re-runs. No settling run here: it would admit extra ordering
+		// traffic into t.Metrics and drift the recorded table. In-flight
+		// acks simply serialize as open spans, deterministically.
+		if err := traceArtifact(t, fmt.Sprintf("TRACE_F1_byz%d.json", byz), tr); err != nil {
+			return nil, err
+		}
+		if byz == 1 {
+			if err := flightArtifact(t, rec.Snapshot("F1 Byzantine arm complete")); err != nil {
+				return nil, err
+			}
+		}
 		_ = sys.Close()
 	}
 	t.Note = "the Byzantine replica's value is masked by f+1 voting at the client; " +

@@ -120,4 +120,39 @@ func TestGenCDRCorpus(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+
+	// Pooled-aliasing seeds: reference-heavy shapes whose decoded Values
+	// would be cheapest to build as sub-slices of the input. The fuzz
+	// harness stages every input in a pooled arena buffer and poisons it on
+	// release, so these seeds prove the decoder copies strings and octet
+	// runs out of pooled backing arrays instead of aliasing them.
+	manyStrings := make([]Value, 8)
+	for i := range manyStrings {
+		manyStrings[i] = fmt.Sprintf("pooled-string-%d", i)
+	}
+	longOctets := make([]Value, 64)
+	for i := range longOctets {
+		longOctets[i] = byte(i)
+	}
+	aliasing := []struct {
+		sel    byte
+		tc     *TypeCode
+		val    Value
+		suffix string
+	}{
+		{11, fuzzTypeCodes[11], longOctets, "octet-run"},
+		{12, fuzzTypeCodes[12], manyStrings, "string-run"},
+	}
+	for _, a := range aliasing {
+		buf, err := Marshal(a.tc, a.val, BigEndian)
+		if err != nil {
+			t.Fatalf("%s: %v", a.tc, err)
+		}
+		seed := append([]byte{a.sel}, buf...)
+		name := filepath.Join(dir, "seed-pooled-"+a.suffix)
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }

@@ -45,6 +45,7 @@ func (o ByteOrder) appender() binary.AppendByteOrder {
 // CDR alignment rules. The zero value encodes big-endian from offset 0.
 type Encoder struct {
 	buf   []byte
+	base  int // stream offset 0 lives at buf[base]
 	order ByteOrder
 }
 
@@ -53,15 +54,30 @@ func NewEncoder(order ByteOrder) *Encoder {
 	return &Encoder{order: order}
 }
 
+// NewEncoderOver returns an Encoder that appends its stream to buf,
+// treating the current end of buf as stream offset 0: alignment is
+// computed relative to that base, so the encoded bytes are identical to a
+// standalone encode wherever the sub-stream lands. This is the zero-copy
+// nesting primitive — frame headers or enclosing streams already in buf
+// stay in place and the nested stream encodes directly after them.
+func NewEncoderOver(order ByteOrder, buf []byte) *Encoder {
+	return &Encoder{buf: buf, base: len(buf), order: order}
+}
+
 // Order returns the encoder's byte order.
 func (e *Encoder) Order() ByteOrder { return e.order }
 
-// Bytes returns the encoded stream. The returned slice aliases the
-// encoder's buffer; callers must not retain it across further writes.
+// Bytes returns the whole backing buffer: any prefix the encoder was
+// created over, followed by the encoded stream. The returned slice aliases
+// the encoder's buffer; callers must not retain it across further writes.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
-// Len returns the number of bytes encoded so far.
-func (e *Encoder) Len() int { return len(e.buf) }
+// Stream returns just the encoded stream (excluding any NewEncoderOver
+// prefix), aliasing the encoder's buffer like Bytes.
+func (e *Encoder) Stream() []byte { return e.buf[e.base:] }
+
+// Len returns the number of stream bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) - e.base }
 
 // align inserts padding so the next write lands on a multiple of n bytes
 // from the start of the stream, as CDR requires.
@@ -69,9 +85,49 @@ func (e *Encoder) align(n int) {
 	if n <= 1 {
 		return
 	}
-	for len(e.buf)%n != 0 {
+	for (len(e.buf)-e.base)%n != 0 {
 		e.buf = append(e.buf, 0)
 	}
+}
+
+// ULongPatch is a reservation made by ReserveULong, to be filled by
+// PatchULong once the value (typically a length) is known.
+type ULongPatch struct {
+	off   int
+	order ByteOrder
+}
+
+// ReserveULong aligns and reserves the space of one unsigned long,
+// returning a patch handle. Reserve-and-patch is how length-prefixed
+// framing encodes in one pass without buffering the body separately.
+func (e *Encoder) ReserveULong() ULongPatch {
+	e.align(4)
+	off := len(e.buf)
+	e.buf = append(e.buf, 0, 0, 0, 0)
+	return ULongPatch{off: off, order: e.order}
+}
+
+// PatchULong fills a reserved unsigned long in place.
+func (e *Encoder) PatchULong(p ULongPatch, v uint32) {
+	p.order.byteOrder().PutUint32(e.buf[p.off:p.off+4], v)
+}
+
+// ReserveRaw appends n zero bytes (no alignment) and returns the absolute
+// offset of the reserved region in Bytes(). Callers fill the region in
+// place — e.g. a seal header written after the sealed length is known.
+func (e *Encoder) ReserveRaw(n int) int {
+	off := len(e.buf)
+	e.buf = append(e.buf, make([]byte, n)...) // recognised extend-with-zeros pattern: no temp allocation
+	return off
+}
+
+// AppendVia hands the encoder's buffer to fn, which appends raw bytes (for
+// example a nested frame with its own encoder, built over the same buffer
+// via NewEncoderOver) and returns the extended slice; the encoder resumes
+// over the result. No alignment is applied — the nested frame defines its
+// own layout from the current position.
+func (e *Encoder) AppendVia(fn func(dst []byte) []byte) {
+	e.buf = fn(e.buf)
 }
 
 // WriteOctet appends a single byte.

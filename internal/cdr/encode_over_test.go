@@ -1,0 +1,75 @@
+package cdr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEncoderOverByteIdentical pins the zero-copy nesting guarantee: a
+// stream encoded over an arbitrary prefix is byte-identical to the same
+// stream encoded standalone, for both byte orders and at every prefix
+// length that perturbs alignment.
+func TestEncoderOverByteIdentical(t *testing.T) {
+	write := func(e *Encoder) {
+		e.WriteOctet(7)
+		e.WriteULong(0xDEADBEEF)
+		e.WriteString("nested")
+		e.WriteULongLong(1 << 40)
+		e.WriteDouble(3.5)
+		e.WriteOctets([]byte{1, 2, 3})
+	}
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		ref := NewEncoder(order)
+		write(ref)
+		for prefix := 0; prefix < 9; prefix++ {
+			buf := bytes.Repeat([]byte{0xAA}, prefix)
+			e := NewEncoderOver(order, buf)
+			write(e)
+			if !bytes.Equal(e.Stream(), ref.Bytes()) {
+				t.Fatalf("order %v prefix %d: nested stream differs\n%x\n%x",
+					order, prefix, e.Stream(), ref.Bytes())
+			}
+			if got := e.Bytes(); !bytes.Equal(got[:prefix], buf[:prefix]) {
+				t.Fatalf("prefix clobbered: %x", got[:prefix])
+			}
+			if e.Len() != ref.Len() {
+				t.Fatalf("Len = %d, want %d", e.Len(), ref.Len())
+			}
+		}
+	}
+}
+
+// TestReservePatchMatchesDirectWrite pins reserve-and-patch framing: a
+// length written after the body must be byte-identical to one written
+// before it.
+func TestReservePatchMatchesDirectWrite(t *testing.T) {
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		direct := NewEncoder(order)
+		direct.WriteOctet(1) // misalign so ReserveULong must pad
+		direct.WriteULong(11)
+		direct.WriteString("body-bytes!")
+
+		patched := NewEncoder(order)
+		patched.WriteOctet(1)
+		p := patched.ReserveULong()
+		patched.WriteString("body-bytes!")
+		patched.PatchULong(p, 11)
+
+		if !bytes.Equal(direct.Bytes(), patched.Bytes()) {
+			t.Fatalf("order %v: patched stream differs\n%x\n%x",
+				order, direct.Bytes(), patched.Bytes())
+		}
+	}
+}
+
+func TestReserveRaw(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteOctet(0xFF)
+	off := e.ReserveRaw(4)
+	e.WriteOctet(0xEE)
+	copy(e.Bytes()[off:off+4], []byte{1, 2, 3, 4})
+	want := []byte{0xFF, 1, 2, 3, 4, 0xEE}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("got %x, want %x", e.Bytes(), want)
+	}
+}

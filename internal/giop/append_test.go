@@ -1,0 +1,65 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+
+	"itdos/internal/cdr"
+)
+
+// TestAppendMatchesEncode pins the zero-copy framing: AppendRequest/
+// AppendReply into a dirty prefixed buffer produce exactly the bytes
+// EncodeRequest/EncodeReply produce standalone.
+func TestAppendMatchesEncode(t *testing.T) {
+	req := &Request{
+		RequestID: 42, ObjectKey: "calc", Interface: "IDL:x/Calc:1.0",
+		Operation: "add", ResponseExpected: true, Body: []byte{1, 2, 3, 4, 5},
+	}
+	rep := &Reply{RequestID: 42, Status: StatusNoException, Body: []byte{9, 8, 7}}
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		prefix := []byte{0xAA, 0xBB, 0xCC}
+		got := AppendRequest(append([]byte(nil), prefix...), order, req)
+		want := EncodeRequest(order, req)
+		if !bytes.Equal(got[:3], prefix) || !bytes.Equal(got[3:], want) {
+			t.Fatalf("order %v: AppendRequest differs from EncodeRequest", order)
+		}
+		got = AppendReply(append([]byte(nil), prefix...), order, rep)
+		want = EncodeReply(order, rep)
+		if !bytes.Equal(got[:3], prefix) || !bytes.Equal(got[3:], want) {
+			t.Fatalf("order %v: AppendReply differs from EncodeReply", order)
+		}
+	}
+}
+
+// TestTentativeFlagRoundTrip: the tentative bit rides the header flags
+// octet, round-trips through Decode, and changes nothing else — the body
+// bytes (what canonical voting digests see) are identical either way.
+func TestTentativeFlagRoundTrip(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		committed := EncodeReply(order, &Reply{RequestID: 7, Body: []byte("r")})
+		tentative := EncodeReply(order, &Reply{RequestID: 7, Body: []byte("r"), Tentative: true})
+		if bytes.Equal(committed, tentative) {
+			t.Fatal("tentative flag not encoded")
+		}
+		if !bytes.Equal(committed[headerLen:], tentative[headerLen:]) {
+			t.Fatal("tentative flag leaked into the body bytes")
+		}
+		if committed[6]&hdrFlagTentative != 0 {
+			t.Fatal("legacy reply carries the tentative bit")
+		}
+		msg, err := Decode(tentative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !msg.Reply.Tentative {
+			t.Fatal("tentative bit lost in Decode")
+		}
+		msg, err = Decode(committed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Reply.Tentative {
+			t.Fatal("committed reply decoded as tentative")
+		}
+	}
+}

@@ -161,6 +161,16 @@ type Reply struct {
 	// is not StatusNoException.
 	Exception string
 
+	// Tentative marks a reply produced by speculative execution at the
+	// prepared point of the ordering protocol (Castro–Liskov tentative
+	// execution): the replica may still roll it back on a view change, so
+	// clients only act on 2f+1 matching tentative replies. Carried in bit 1
+	// of the header flags octet, which legacy encoders always wrote as the
+	// byte-order bit alone — replies without the flag stay byte-identical.
+	// Voters must not fold this bit into value comparison: a tentative and
+	// a committed reply to the same request carry the same result.
+	Tentative bool
+
 	// Body is the CDR-encoded result list (empty on exception).
 	Body []byte
 }
@@ -179,14 +189,22 @@ type Message struct {
 
 const headerLen = 12
 
-// header layout: magic[4] | verMajor | verMinor | flags | msgType | size(u32)
+// Header flags octet bits. Bit 0 is the GIOP byte-order flag; bit 1 is the
+// ITDOS tentative-reply extension (see Reply.Tentative), which legacy
+// streams never set.
+const (
+	hdrFlagLittleEndian = 1 << 0
+	hdrFlagTentative    = 1 << 1
+)
+
+// writeHeader fills a 12-byte header region in place:
+// magic[4] | verMajor | verMinor | flags | msgType | size(u32)
 // where flags bit0 is the byte-order flag, as in GIOP 1.1+.
-func encodeHeader(order cdr.ByteOrder, t MsgType, bodyLen int) []byte {
-	h := make([]byte, headerLen)
+func writeHeader(h []byte, order cdr.ByteOrder, flags byte, t MsgType, bodyLen int) {
 	copy(h, Magic[:])
 	h[4] = VersionMajor
 	h[5] = VersionMinor
-	h[6] = byte(order) & 1
+	h[6] = (byte(order) & 1) | flags
 	h[7] = byte(t)
 	// The size field is encoded in the sender's byte order, per GIOP.
 	if order == cdr.LittleEndian {
@@ -200,48 +218,77 @@ func encodeHeader(order cdr.ByteOrder, t MsgType, bodyLen int) []byte {
 		h[10] = byte(bodyLen >> 8)
 		h[11] = byte(bodyLen)
 	}
-	return h
+}
+
+// appendMessage reserves a header at the end of dst, runs body over the
+// buffer (alignment relative to the body start), and patches the header —
+// the zero-copy framing shared by every Append* encoder. A nil body
+// appends a bodyless control message.
+func appendMessage(dst []byte, order cdr.ByteOrder, flags byte, t MsgType, body func(e *cdr.Encoder)) []byte {
+	hdr := len(dst)
+	dst = append(dst, make([]byte, headerLen)...)
+	e := cdr.NewEncoderOver(order, dst)
+	if body != nil {
+		body(e)
+	}
+	out := e.Bytes()
+	writeHeader(out[hdr:hdr+headerLen], order, flags, t, e.Len())
+	return out
+}
+
+// AppendRequest appends the encoded Request message to dst and returns the
+// extended slice, encoding header and body in one pass with no
+// intermediate copy. The output is byte-identical to EncodeRequest.
+func AppendRequest(dst []byte, order cdr.ByteOrder, r *Request) []byte {
+	return appendMessage(dst, order, 0, MsgRequest, func(e *cdr.Encoder) {
+		e.WriteULongLong(r.RequestID)
+		e.WriteString(r.ObjectKey)
+		e.WriteString(r.Interface)
+		e.WriteString(r.Operation)
+		// The response-flags octet: bit 0 is response_expected (a plain CDR
+		// boolean for legacy requests), bits 1-2 the ITDOS digest/read-only
+		// extensions. A request without extensions encodes exactly as the old
+		// WriteBoolean did.
+		e.WriteOctet(r.flags())
+		e.WriteOctets(r.Body)
+	})
+}
+
+// AppendReply appends the encoded Reply message to dst and returns the
+// extended slice; see AppendRequest.
+func AppendReply(dst []byte, order cdr.ByteOrder, r *Reply) []byte {
+	var flags byte
+	if r.Tentative {
+		flags |= hdrFlagTentative
+	}
+	return appendMessage(dst, order, flags, MsgReply, func(e *cdr.Encoder) {
+		e.WriteULongLong(r.RequestID)
+		e.WriteULong(uint32(r.Status))
+		e.WriteString(r.Exception)
+		e.WriteOctets(r.Body)
+	})
 }
 
 // EncodeRequest marshals a Request message in the given byte order.
 func EncodeRequest(order cdr.ByteOrder, r *Request) []byte {
-	e := cdr.NewEncoder(order)
-	e.WriteULongLong(r.RequestID)
-	e.WriteString(r.ObjectKey)
-	e.WriteString(r.Interface)
-	e.WriteString(r.Operation)
-	// The response-flags octet: bit 0 is response_expected (a plain CDR
-	// boolean for legacy requests), bits 1-2 the ITDOS digest/read-only
-	// extensions. A request without extensions encodes exactly as the old
-	// WriteBoolean did.
-	e.WriteOctet(r.flags())
-	e.WriteOctets(r.Body)
-	body := e.Bytes()
-	return append(encodeHeader(order, MsgRequest, len(body)), body...)
+	return AppendRequest(nil, order, r)
 }
 
 // EncodeReply marshals a Reply message in the given byte order.
 func EncodeReply(order cdr.ByteOrder, r *Reply) []byte {
-	e := cdr.NewEncoder(order)
-	e.WriteULongLong(r.RequestID)
-	e.WriteULong(uint32(r.Status))
-	e.WriteString(r.Exception)
-	e.WriteOctets(r.Body)
-	body := e.Bytes()
-	return append(encodeHeader(order, MsgReply, len(body)), body...)
+	return AppendReply(nil, order, r)
 }
 
 // EncodeCancelRequest marshals a CancelRequest for the given request id.
 func EncodeCancelRequest(order cdr.ByteOrder, requestID uint64) []byte {
-	e := cdr.NewEncoder(order)
-	e.WriteULongLong(requestID)
-	body := e.Bytes()
-	return append(encodeHeader(order, MsgCancelRequest, len(body)), body...)
+	return appendMessage(nil, order, 0, MsgCancelRequest, func(e *cdr.Encoder) {
+		e.WriteULongLong(requestID)
+	})
 }
 
 // EncodeCloseConnection marshals a CloseConnection message.
 func EncodeCloseConnection(order cdr.ByteOrder) []byte {
-	return encodeHeader(order, MsgCloseConnection, 0)
+	return appendMessage(nil, order, 0, MsgCloseConnection, nil)
 }
 
 // Decode parses one GIOP message from buf. It rejects malformed input with
@@ -283,6 +330,7 @@ func Decode(buf []byte) (*Message, error) {
 		if err != nil {
 			return nil, fmt.Errorf("giop: decode reply: %w", err)
 		}
+		rep.Tentative = buf[6]&hdrFlagTentative != 0
 		msg.Reply = rep
 	case MsgCancelRequest:
 		id, err := d.ReadULongLong()

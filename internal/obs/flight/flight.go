@@ -69,23 +69,31 @@ const (
 	// KindDesync: an SRM element fell out of the queue window and
 	// resynchronised by state transfer (srm).
 	KindDesync
+	// KindTentativeExec: a replica speculatively executed a prepared but
+	// not yet committed batch (pbft tentative execution).
+	KindTentativeExec
+	// KindTentativeRollback: a replica discarded its speculative suffix
+	// and restored committed state (pbft tentative execution).
+	KindTentativeRollback
 )
 
 var kindNames = [...]string{
-	KindViewChange:       "view-change",
-	KindNewView:          "new-view",
-	KindBatchProposed:    "batch-proposed",
-	KindBatchCommitted:   "batch-committed",
-	KindVoteDecided:      "vote-decided",
-	KindFaultReported:    "fault-reported",
-	KindProofRejected:    "proof-rejected",
-	KindDigestFallback:   "digest-fallback",
-	KindShareTamper:      "share-tamper",
-	KindRekey:            "rekey",
-	KindExpulsionFiled:   "expulsion-filed",
-	KindRecoveryStart:    "recovery-start",
-	KindRecoveryComplete: "recovery-complete",
-	KindDesync:           "desync",
+	KindViewChange:        "view-change",
+	KindNewView:           "new-view",
+	KindBatchProposed:     "batch-proposed",
+	KindBatchCommitted:    "batch-committed",
+	KindVoteDecided:       "vote-decided",
+	KindFaultReported:     "fault-reported",
+	KindProofRejected:     "proof-rejected",
+	KindDigestFallback:    "digest-fallback",
+	KindShareTamper:       "share-tamper",
+	KindRekey:             "rekey",
+	KindExpulsionFiled:    "expulsion-filed",
+	KindRecoveryStart:     "recovery-start",
+	KindRecoveryComplete:  "recovery-complete",
+	KindDesync:            "desync",
+	KindTentativeExec:     "tentative-exec",
+	KindTentativeRollback: "tentative-rollback",
 }
 
 // String returns the stable dump/render name of the kind.

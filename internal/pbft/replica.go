@@ -78,6 +78,15 @@ type Config struct {
 	// proposing it (only used when MaxBatch > 1). It should be comparable
 	// to the transport latency spread so concurrent arrivals coalesce.
 	BatchWait time.Duration
+	// TentativeExecution enables Castro–Liskov speculative execution: a
+	// replica executes a batch as soon as it is *prepared* (skipping the
+	// commit round on the reply latency path), journals the results, and
+	// confirms them — without re-executing — when the batch commits. A view
+	// change before commit rolls the application back to committed state.
+	// Speculation never crosses a checkpoint boundary, so checkpoint
+	// snapshots always capture exactly-committed state. Off by default;
+	// the off path is byte-identical to the pre-speculation protocol.
+	TentativeExecution bool
 	// Auth signs and verifies every message.
 	Auth Authenticator
 	// Metrics, if non-nil, receives protocol-phase counters. MetricsLabel
@@ -201,6 +210,26 @@ type Replica struct {
 	// deliver ordered messages and by tests to audit ordering).
 	OnExecute func(seq uint64, req *Request, result []byte)
 
+	// OnTentativeExecute, if set, observes every speculatively executed
+	// operation (TentativeExecution on); OnExecute still fires when the
+	// operation's batch commits. OnTentativeRollback fires when the
+	// speculative suffix is discarded, with the committed sequence the
+	// application was restored to.
+	OnTentativeExecute  func(seq uint64, req *Request, result []byte)
+	OnTentativeRollback func(lastExec uint64)
+
+	// Speculative-execution state (TentativeExecution on; see tentative.go).
+	// specExec is the highest speculated-or-executed sequence (>= lastExec);
+	// specBase/specBaseSeq snapshot the application at the speculation
+	// session's start; specJournal records per-sequence results until the
+	// session drains; specClient tracks per-client at-most-once during
+	// speculation.
+	specExec    uint64
+	specBase    []byte
+	specBaseSeq uint64
+	specJournal map[uint64]*specEntry
+	specClient  map[string]uint64
+
 	// OnRecovered, if set, is called when a recovery started by Recover
 	// completes: the replica has restored a proven checkpoint from its
 	// peers AND executed a normally committed entry on top of it, i.e.
@@ -226,6 +255,8 @@ type Replica struct {
 	mBatchedReqs    *obs.Counter
 	mReadOnlyBypass *obs.Counter
 	mRecoveries     *obs.Counter
+	mTentative      *obs.Counter
+	mTentRollbacks  *obs.Counter
 	hBatchSize      *obs.Histogram
 	gBacklog        *obs.Gauge
 
@@ -251,6 +282,8 @@ func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
 		ppIndex:     make(map[Digest]uint64),
 		viewChanges: make(map[uint64]map[ReplicaID]*ViewChange),
 		vcTimeout:   cfg.ViewTimeout,
+		specJournal: make(map[uint64]*specEntry),
+		specClient:  make(map[string]uint64),
 	}
 	if m := cfg.Metrics; m != nil {
 		label := "group=" + cfg.MetricsLabel
@@ -266,6 +299,8 @@ func NewReplica(cfg Config, app App, env Env) (*Replica, error) {
 		r.mBatchedReqs = m.Counter("pbft_batched_requests_total", label)
 		r.mReadOnlyBypass = m.Counter("pbft_readonly_bypass_total", label)
 		r.mRecoveries = m.Counter("pbft_recoveries_total", label)
+		r.mTentative = m.Counter("pbft_tentative_execs_total", label)
+		r.mTentRollbacks = m.Counter("pbft_tentative_rollbacks_total", label)
 		r.hBatchSize = m.Histogram("pbft_batch_size",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}, label)
 		r.gBacklog = m.Gauge("pbft_primary_backlog", label)
@@ -704,6 +739,7 @@ func (r *Replica) tryPrepared(seq uint64) {
 	r.broadcast(c)
 	r.mCommits.Inc()
 	r.recordCommit(c)
+	r.trySpeculate()
 }
 
 func (r *Replica) onCommit(c *Commit) {
@@ -774,17 +810,25 @@ func (r *Replica) tryExecute() {
 	for {
 		en, ok := r.log[r.lastExec+1]
 		if !ok || en.executed || !r.isCommitted(en) {
-			return
+			break
 		}
 		r.executeEntry(r.lastExec+1, en)
 	}
+	// Committed progress may have released the checkpoint-boundary hold on
+	// speculation, or freshly prepared entries may be waiting.
+	r.trySpeculate()
 }
 
 func (r *Replica) executeEntry(seq uint64, en *entry) {
+	pp := en.prePrepare
+	// If this batch was executed speculatively with the same digest, its
+	// journaled results stand — the application does not run it again.
+	// A digest mismatch (the view change re-ordered the window) discards
+	// the whole speculative suffix first.
+	se := r.confirmSpeculation(seq, pp)
 	en.executed = true
 	r.lastExec = seq
 	r.mExecutions.Inc()
-	pp := en.prePrepare
 	r.record(flight.KindBatchCommitted, pp.View, seq, fmt.Sprintf("n=%d", len(pp.Requests)))
 	if len(pp.Requests) > 0 {
 		r.mBatches.Inc()
@@ -793,11 +837,20 @@ func (r *Replica) executeEntry(seq uint64, en *entry) {
 	}
 	// Execute the batch in proposal order: every replica walks the same
 	// slice, so each request becomes its own deterministic App operation.
-	for _, req := range pp.Requests {
+	for i, req := range pp.Requests {
 		d := req.Digest()
 		rec := r.clientTable[req.ClientID]
 		if rec == nil || req.ClientSeq > rec.seq {
-			result := r.app.Execute(req.ClientID, req.Op)
+			var result []byte
+			if se != nil {
+				// Speculation and commit dedupe against the same
+				// deterministic client-table evolution, so a request the
+				// commit path would execute is exactly one the speculation
+				// executed and journaled.
+				result = se.results[i].result
+			} else {
+				result = r.app.Execute(req.ClientID, req.Op)
+			}
 			r.clientTable[req.ClientID] = &clientRecord{
 				seq: req.ClientSeq, result: result, hasReply: true,
 			}
@@ -822,7 +875,17 @@ func (r *Replica) executeEntry(seq uint64, en *entry) {
 	if len(r.outstanding) > 0 {
 		r.armTimerAlways()
 	}
+	if r.specExec < r.lastExec {
+		r.specExec = r.lastExec
+	}
+	if r.specExec == r.lastExec {
+		// The speculative suffix is fully confirmed: nothing remains to
+		// roll back, so the session's base snapshot and journal can go.
+		r.clearSpecSession()
+	}
 	if seq%r.cfg.CheckpointInterval == 0 {
+		// Speculation never crosses a checkpoint boundary, so the
+		// application state here is exactly the committed state at seq.
 		r.takeCheckpoint(seq)
 	}
 	if r.recovering {
@@ -1045,6 +1108,10 @@ func (r *Replica) Recover() {
 	r.viewChanges = make(map[uint64]map[ReplicaID]*ViewChange)
 	r.inViewChange = false
 	r.fetching = false
+	// Speculative state is soft state like the rest: the app reset below
+	// discards tentative executions along with everything else.
+	r.specExec = 0
+	r.clearSpecSession()
 	if ra, ok := r.app.(interface{ Reset() }); ok {
 		ra.Reset()
 	}
@@ -1099,6 +1166,9 @@ func (r *Replica) onStateData(sd *StateData) {
 	if !r.verifyCheckpointProof(sd.Seq, sha256.Sum256(sd.Snapshot), sd.Proof) {
 		return
 	}
+	// The restore below replaces application state wholesale; any
+	// speculative suffix built on the old state is void.
+	r.dropSpeculation()
 	if err := r.restoreState(sd.Snapshot); err != nil {
 		return
 	}

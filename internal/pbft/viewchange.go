@@ -20,6 +20,9 @@ func (r *Replica) startViewChange(newView uint64) {
 	}
 	r.view = newView
 	r.inViewChange = true
+	// Speculated-but-uncommitted batches may be re-ordered or dropped by
+	// the new view: restore the application to committed state first.
+	r.rollbackSpeculation()
 	// Abandon the batch under construction: its requests remain in
 	// outstanding, so the NEW-VIEW installer re-drives them (either into O
 	// via a prepared certificate, or as fresh requests to the new primary).

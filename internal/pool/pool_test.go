@@ -1,0 +1,97 @@
+package pool
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGetReleaseRecycles(t *testing.T) {
+	b := Get(100)
+	if len(b.B) != 0 || cap(b.B) < 100 {
+		t.Fatalf("Get(100): len=%d cap=%d", len(b.B), cap(b.B))
+	}
+	b.B = append(b.B, "hello"...)
+	before := ReadStats()
+	b.Release()
+	after := ReadStats()
+	if after.Puts != before.Puts+1 {
+		t.Fatalf("Release did not return buffer to pool: puts %d -> %d", before.Puts, after.Puts)
+	}
+}
+
+func TestRetainKeepsAlive(t *testing.T) {
+	b := Get(10)
+	b.B = append(b.B, 1, 2, 3)
+	b.Retain()
+	b.Release()
+	// Second owner's view is still valid.
+	if !bytes.Equal(b.B, []byte{1, 2, 3}) {
+		t.Fatalf("buffer recycled while a reference was live: %v", b.B)
+	}
+	b.Release()
+}
+
+func TestReleasePanicsOnDoubleFree(t *testing.T) {
+	b := Get(10)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	// A second Release on a recycled buffer must not silently corrupt the
+	// arena. (The buffer may have been re-issued; the panic is best-effort
+	// but deterministic in a single-goroutine test.)
+	b.Release()
+}
+
+func TestDetachCopiesAndReleases(t *testing.T) {
+	b := Get(10)
+	b.B = append(b.B, 9, 9)
+	before := ReadStats()
+	out := b.Detach()
+	if !bytes.Equal(out, []byte{9, 9}) {
+		t.Fatalf("Detach = %v", out)
+	}
+	if ReadStats().Puts != before.Puts+1 {
+		t.Fatal("Detach did not release the buffer")
+	}
+	// The detached slice must be independent of the arena.
+	fresh := Get(10)
+	fresh.B = append(fresh.B, 7, 7)
+	if !bytes.Equal(out, []byte{9, 9}) {
+		t.Fatalf("detached slice aliases arena memory: %v", out)
+	}
+	fresh.Release()
+}
+
+func TestPoisonMakesUseAfterReleaseLoud(t *testing.T) {
+	SetPoison(true)
+	defer SetPoison(false)
+	b := Get(10)
+	b.B = append(b.B, 1, 2, 3)
+	stale := b.B
+	b.Release()
+	for _, v := range stale {
+		if v != 0xDB {
+			t.Fatalf("poisoning left stale bytes readable: %v", stale)
+		}
+	}
+}
+
+func TestOversizedBypassAndRehome(t *testing.T) {
+	huge := Get(8 << 20) // beyond the largest class
+	if cap(huge.B) < 8<<20 {
+		t.Fatalf("oversized Get cap=%d", cap(huge.B))
+	}
+	huge.Release() // re-homes into the largest class it covers
+
+	grown := Get(64)
+	grown.B = append(grown.B, make([]byte, 100<<10)...) // outgrow the class
+	grown.Release()                                     // must not pool into a class above its capacity
+	re := Get(64 << 10)
+	if cap(re.B) < 64<<10 {
+		t.Fatalf("re-homed buffer violates class capacity: cap=%d", cap(re.B))
+	}
+	re.Release()
+}

@@ -25,9 +25,17 @@ type Element struct {
 
 	// held buffers ordered data envelopes that arrived before their
 	// connection's key material; holding preserves global delivery order
-	// so upcall interleaving stays identical across elements.
-	held    []*smiop.Envelope
+	// so upcall interleaving stays identical across elements. Each entry
+	// keeps the tentativeness of its original delivery: the flag is a
+	// property of WHEN the queue delivered the message, so a later drain
+	// must not re-sample it.
+	held    []heldEnv
 	holding bool
+
+	// tentDelivery is true while the element is processing a message the
+	// queue delivered speculatively (prepared but not committed). Upcalls
+	// scheduled during such a delivery produce tentative replies.
+	tentDelivery bool
 
 	// Desynced is set when queue garbage collection outran this element
 	// (it must be expelled; paper §3.1).
@@ -87,15 +95,23 @@ func (el *Element) onDeliver(seq uint64, sender string, data []byte) {
 	case smiop.KindKeyShare:
 		el.onKeyShare(sender, env)
 	case smiop.KindData:
+		tent := el.srmEl.Queue().Tentative()
 		if el.holding {
-			el.held = append(el.held, env)
+			el.held = append(el.held, heldEnv{env: env, tent: tent})
 			el.setHeldGauge()
 			return
 		}
-		el.processData(env)
+		el.processData(env, tent)
 	default:
 		// open_request / change_request are Group Manager business.
 	}
+}
+
+// heldEnv is one key-stalled envelope plus the tentativeness of the
+// delivery that carried it.
+type heldEnv struct {
+	env  *smiop.Envelope
+	tent bool
 }
 
 func (el *Element) onKeyShare(sender string, env *smiop.Envelope) {
@@ -121,16 +137,18 @@ func (el *Element) rekeyHappened(b *smiop.ShareBundle) bool {
 	return ok && cs.conn.KeyEra() == b.Era && b.Era > 0
 }
 
-func (el *Element) processData(env *smiop.Envelope) {
+func (el *Element) processData(env *smiop.Envelope, tent bool) {
 	if _, ok := el.conns[env.ConnID]; !ok {
 		// Key material not combined yet: stall the pipeline to keep the
 		// upcall order identical on every element.
 		el.holding = true
-		el.held = append(el.held, env)
+		el.held = append(el.held, heldEnv{env: env, tent: tent})
 		el.setHeldGauge()
 		return
 	}
+	el.tentDelivery = tent
 	el.handleData(env)
+	el.tentDelivery = false
 }
 
 // setHeldGauge publishes the depth of the key-stalled envelope buffer.
@@ -147,26 +165,29 @@ func (el *Element) drainHeld() {
 	held := el.held
 	el.held = nil
 	el.setHeldGauge()
-	for i, env := range held {
+	for i, h := range held {
 		if el.holding {
 			el.held = append(el.held, held[i:]...)
 			el.setHeldGauge()
 			return
 		}
-		el.processData(env)
+		el.processData(h.env, h.tent)
 	}
 }
 
-// onInboundRequest dispatches a voted request as an ORB upcall.
+// onInboundRequest dispatches a voted request as an ORB upcall. The
+// tentativeness of the triggering delivery is captured NOW: the serve
+// closure may run after the delivery bracket closed.
 func (el *Element) onInboundRequest(cs *connState, val *smiop.MessageVal) {
 	el.Upcalls++
 	el.sys.cfg.Metrics.Counter("element_upcalls_total", "domain="+el.local.Name).Inc()
-	el.schedule(func() { el.serve(cs, val) })
+	tentative := el.tentDelivery
+	el.schedule(func() { el.serve(cs, val, tentative) })
 }
 
 // serve runs on the ORB thread: dispatch to the servant, marshal the reply
 // in the platform byte order, sign, seal, and send it back to the peer.
-func (el *Element) serve(cs *connState, val *smiop.MessageVal) {
+func (el *Element) serve(cs *connState, val *smiop.MessageVal, tentative bool) {
 	req := val.Msg.Request
 	if req == nil {
 		return
@@ -183,9 +204,14 @@ func (el *Element) serve(cs *connState, val *smiop.MessageVal) {
 	if !req.ResponseExpected {
 		return
 	}
+	// A reply produced during a speculative delivery is flagged tentative
+	// on the wire; the client needs 2f+1 matching copies to accept it.
+	reply.Tentative = tentative
 	giopBytes := giop.EncodeReply(el.profile.Order, reply)
 	// Always cache the FULL reply: retries and digest fallbacks are
 	// answered with full replies regardless of how this copy went out.
+	// The cached bytes keep the tentative flag as sent, so retried votes
+	// compare identical copies across the group.
 	cs.cachedReplyID = req.RequestID
 	cs.cachedReplyGIOP = giopBytes
 	if el.sys.cfg.DigestReplies && req.DigestOK && cs.peer.N == 1 {
@@ -294,43 +320,50 @@ func (el *Element) serveReadOnly(cs *connState, req *giop.Request, order cdr.Byt
 		"op="+req.Interface+"."+req.Operation, "element="+el.identity, "readonly=1")
 	defer usp.End()
 	reply := el.Adapter.Dispatch(req, order, el.caller, el.profile.Order)
-	giopBytes := giop.EncodeReply(el.profile.Order, reply)
-	envs, err := cs.conn.SealSignedDataFragmented(req.RequestID, true, giopBytes, el.sign,
-		el.sys.cfg.FragmentSize)
+	// The reply is not cached (read-only path), so it marshals directly into
+	// the zero-copy seal pipeline with no standalone GIOP buffer.
+	frames, err := cs.conn.SealGIOPWire(req.RequestID, true,
+		func(dst []byte) []byte { return giop.AppendReply(dst, el.profile.Order, reply) },
+		el.sign, el.sys.cfg.FragmentSize)
 	if err != nil {
 		return
 	}
-	if len(envs) > 1 {
-		el.mFragsOut.Add(uint64(len(envs)))
+	if len(frames) > 1 {
+		el.mFragsOut.Add(uint64(len(frames)))
 	}
-	for _, env := range envs {
+	for _, frame := range frames {
 		el.sys.Net.Send(netsim.NodeID(el.identity),
-			netsim.NodeID(clientInboxAddr(cs.peer.Name)), env.Encode())
+			netsim.NodeID(clientInboxAddr(cs.peer.Name)), frame.B)
 	}
+	smiop.ReleaseFrames(frames)
 }
 
 // sendReply seals a reply under the connection's current key (fragmenting
-// large messages) and routes it back to the peer.
+// large messages) and routes it back to the peer. Frames seal in pooled
+// buffers: direct sends release them immediately (the network copies
+// payloads on Send); ordered sends detach an owned copy because the
+// ordered sender retains payloads for retransmission.
 func (el *Element) sendReply(cs *connState, requestID uint64, giopBytes []byte) {
-	envs, err := cs.conn.SealSignedDataFragmented(requestID, true, giopBytes, el.sign,
+	frames, err := cs.conn.SealSignedDataWire(requestID, true, giopBytes, el.sign,
 		el.sys.cfg.FragmentSize)
 	if err != nil {
 		return
 	}
-	if len(envs) > 1 {
-		el.mFragsOut.Add(uint64(len(envs)))
+	if len(frames) > 1 {
+		el.mFragsOut.Add(uint64(len(frames)))
 	}
-	for _, env := range envs {
+	for _, frame := range frames {
 		if cs.peer.N == 1 {
 			// Singleton client: every element replies directly and the
 			// client votes on the copies (paper §3.2).
 			el.sys.Net.Send(netsim.NodeID(el.identity),
-				netsim.NodeID(clientInboxAddr(cs.peer.Name)), env.Encode())
+				netsim.NodeID(clientInboxAddr(cs.peer.Name)), frame.B)
+			frame.Release()
 			continue
 		}
 		// Replicated peer: the reply is multicast into the peer's
 		// ordering, like every message to a replication domain.
-		el.sendOrdered(cs.peer.Name, env.Encode())
+		el.sendOrdered(cs.peer.Name, frame.Detach())
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"itdos/internal/netsim"
 	"itdos/internal/obs"
 	"itdos/internal/orb"
+	"itdos/internal/pool"
 	"itdos/internal/seckey"
 	"itdos/internal/smiop"
 	"itdos/internal/vote"
@@ -133,6 +134,7 @@ type endpoint struct {
 	mDigestCalls    *obs.Counter
 	mReadOnlyCalls  *obs.Counter
 	mReadOnlyAborts *obs.Counter
+	mTentCalls      *obs.Counter
 }
 
 func (ep *endpoint) init(sys *System, identity string, local smiop.PeerInfo, member int, profile Profile) {
@@ -156,6 +158,7 @@ func (ep *endpoint) init(sys *System, identity string, local smiop.PeerInfo, mem
 		ep.mDigestCalls = r.Counter("digest_replies_armed_total")
 		ep.mReadOnlyCalls = r.Counter("readonly_fastpath_total")
 		ep.mReadOnlyAborts = r.Counter("readonly_fastpath_aborts_total")
+		ep.mTentCalls = r.Counter("tentative_replies_armed_total")
 	}
 }
 
@@ -251,7 +254,12 @@ func (ep *endpoint) invokeOnce(ref orb.ObjectRef, req *giop.Request, retry bool)
 	// full-reply path (cached replies are full replies).
 	fastEligible := !retry && ep.local.N == 1 && cs.peer.N > 1
 	readOnlyMode := fastEligible && ep.sys.cfg.ReadOnlyFastPath && req.ReadOnly
-	digestMode := fastEligible && ep.sys.cfg.DigestReplies && !readOnlyMode
+	// Tentative mode rides the ordered path but accepts 2f+1 matching
+	// tentative replies — one commit round earlier. It subsumes digest
+	// mode for the same invocation: the speculative reply arrives before
+	// a digest vote could close anyway.
+	tentativeMode := fastEligible && ep.sys.cfg.TentativeExecution && !readOnlyMode
+	digestMode := fastEligible && ep.sys.cfg.DigestReplies && !readOnlyMode && !tentativeMode
 	// Clear the extension flags unless this invocation takes the matching
 	// path: with the features off every request stays byte-identical to
 	// the legacy wire form.
@@ -267,45 +275,58 @@ func (ep *endpoint) invokeOnce(ref orb.ObjectRef, req *giop.Request, retry bool)
 		if err := ep.sendOrderedRequest(cs, ref.Domain, req); err != nil {
 			return nil, 0, err
 		}
-		return ep.awaitReply(cs, ref, req, false, false)
+		return ep.awaitReply(cs, ref, req, false, false, false)
 	}
 
 	reqID := cs.conn.NextRequestID()
 	req.RequestID = reqID
-	var directEnv *smiop.Envelope
+	var directFrame *pool.Buffer
 	if readOnlyMode {
 		// The direct path delivers whole envelopes only (no reassembly
 		// across an unordered channel): a request too large for one
 		// envelope aborts to the ordered path before anything is sent.
-		giopBytes := giop.EncodeRequest(ep.profile.Order, req)
-		envs, err := cs.conn.SealSignedDataFragmented(reqID, false, giopBytes, ep.sign,
-			ep.sys.cfg.FragmentSize)
+		frames, err := cs.conn.SealGIOPWire(reqID, false,
+			func(dst []byte) []byte { return giop.AppendRequest(dst, ep.profile.Order, req) },
+			ep.sign, ep.sys.cfg.FragmentSize)
 		if err != nil {
 			return nil, 0, err
 		}
-		if len(envs) == 1 {
-			directEnv = envs[0]
+		if len(frames) == 1 {
+			directFrame = frames[0]
 		} else {
+			smiop.ReleaseFrames(frames)
 			ep.mReadOnlyAborts.Inc()
 			readOnlyMode = false
 			req.ReadOnly = false
-			digestMode = fastEligible && ep.sys.cfg.DigestReplies
+			tentativeMode = fastEligible && ep.sys.cfg.TentativeExecution
+			digestMode = fastEligible && ep.sys.cfg.DigestReplies && !tentativeMode
 			req.DigestOK = digestMode
 		}
 	}
 	switch {
 	case readOnlyMode:
 		if err := cs.stream.ExpectReadOnlyReply(reqID, ref.Interface, req.Operation); err != nil {
+			directFrame.Release()
 			return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
 		}
 		ep.mReadOnlyCalls.Inc()
-		payload := directEnv.Encode()
 		rsp := ep.tracer().Start("smiop.direct", fmt.Sprintf("req=%d", reqID))
 		for m := 0; m < cs.peer.N; m++ {
+			// The network copies the payload on Send, so one pooled frame
+			// serves every destination and is released right after.
 			ep.sys.Net.Send(netsim.NodeID(ep.identity),
-				netsim.NodeID(elementInboxAddr(cs.peer.Name, m)), payload)
+				netsim.NodeID(elementInboxAddr(cs.peer.Name, m)), directFrame.B)
 		}
+		directFrame.Release()
 		rsp.End()
+	case tentativeMode:
+		if err := cs.stream.ExpectTentativeReply(reqID, ref.Interface, req.Operation); err != nil {
+			return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
+		}
+		ep.mTentCalls.Inc()
+		if err := ep.sendOrderedRequest(cs, ref.Domain, req); err != nil {
+			return nil, 0, err
+		}
 	case digestMode:
 		responder := smiop.DesignatedResponder(reqID, cs.peer.N, func(m int) bool {
 			return cs.conn.Expelled(uint32(m))
@@ -325,25 +346,27 @@ func (ep *endpoint) invokeOnce(ref orb.ObjectRef, req *giop.Request, retry bool)
 			return nil, 0, err
 		}
 	}
-	return ep.awaitReply(cs, ref, req, readOnlyMode, digestMode)
+	return ep.awaitReply(cs, ref, req, readOnlyMode, digestMode, tentativeMode)
 }
 
 // sendOrderedRequest encodes, seals, and multicasts req into the peer's
-// ordering group.
+// ordering group. The GIOP message marshals directly into the zero-copy
+// seal pipeline; the ordered sender retains payloads for retransmission, so
+// each pooled frame is detached (one owned copy) rather than released.
 func (ep *endpoint) sendOrderedRequest(cs *connState, target string, req *giop.Request) error {
-	giopBytes := giop.EncodeRequest(ep.profile.Order, req)
 	ssp := ep.tracer().Start("smiop.seal", fmt.Sprintf("req=%d", req.RequestID))
-	envs, err := cs.conn.SealSignedDataFragmented(req.RequestID, false, giopBytes, ep.sign,
-		ep.sys.cfg.FragmentSize)
+	frames, err := cs.conn.SealGIOPWire(req.RequestID, false,
+		func(dst []byte) []byte { return giop.AppendRequest(dst, ep.profile.Order, req) },
+		ep.sign, ep.sys.cfg.FragmentSize)
 	ssp.End()
 	if err != nil {
 		return err
 	}
-	if len(envs) > 1 {
-		ep.mFragsOut.Add(uint64(len(envs)))
+	if len(frames) > 1 {
+		ep.mFragsOut.Add(uint64(len(frames)))
 	}
-	for _, env := range envs {
-		ep.sendOrdered(target, env.Encode())
+	for _, frame := range frames {
+		ep.sendOrdered(target, frame.Detach())
 	}
 	return nil
 }
@@ -353,11 +376,11 @@ func (ep *endpoint) sendOrderedRequest(cs *connState, target string, req *giop.R
 // full-reply path and parks again; the fallback preserves correctness —
 // only the optimisation is abandoned.
 func (ep *endpoint) awaitReply(cs *connState, ref orb.ObjectRef, req *giop.Request,
-	readOnlyMode, digestMode bool) (*giop.Reply, cdr.ByteOrder, error) {
+	readOnlyMode, digestMode, tentativeMode bool) (*giop.Reply, cdr.ByteOrder, error) {
 
 	for {
 		var timer netsim.Timer
-		if readOnlyMode || digestMode {
+		if readOnlyMode || digestMode || tentativeMode {
 			// Fast-path liveness: a silent designated responder (digest
 			// mode) or dropped direct requests (read-only mode) never trip
 			// the voter's stall detection, so a virtual-time timeout forces
@@ -387,6 +410,20 @@ func (ep *endpoint) awaitReply(cs *connState, ref orb.ObjectRef, req *giop.Reque
 				req.ReadOnly, req.DigestOK = false, false
 				req.RequestID = cs.conn.NextRequestID()
 				if err := cs.stream.ExpectReply(req.RequestID, ref.Interface, req.Operation); err != nil {
+					return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
+				}
+				if err := ep.sendOrderedRequest(cs, ref.Domain, req); err != nil {
+					return nil, 0, err
+				}
+			case tentativeMode:
+				// The 2f+1 tentative quorum failed — a lying replica split
+				// the byte-exact vote, or speculation stalled (view change,
+				// checkpoint-boundary hold plus loss). Fall back to the
+				// committed f+1 full vote under the SAME id: elements that
+				// executed answer from their reply caches, preserving
+				// at-most-once execution.
+				tentativeMode = false
+				if err := cs.stream.RetryReply(req.RequestID, ref.Interface, req.Operation); err != nil {
 					return nil, 0, fmt.Errorf("replica: %s: %w", ep.identity, err)
 				}
 				if err := ep.sendOrderedRequest(cs, ref.Domain, req); err != nil {
@@ -821,7 +858,7 @@ func (ep *endpoint) installConn(b *smiop.ShareBundle, peer smiop.PeerInfo, initi
 	stream.OnFault = func(member int, report vote.FaultReport) {
 		ep.onFault(cs, report)
 	}
-	if ep.sys.cfg.DigestReplies || ep.sys.cfg.ReadOnlyFastPath {
+	if ep.sys.cfg.DigestReplies || ep.sys.cfg.ReadOnlyFastPath || ep.sys.cfg.TentativeExecution {
 		// Only wired when a fast path can be armed: with the features off,
 		// stalled full votes keep the legacy park-forever semantics.
 		stream.OnFallback = func(requestID uint64) {

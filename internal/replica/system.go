@@ -114,6 +114,15 @@ type SystemConfig struct {
 	// quorum failure. Off by default.
 	ReadOnlyFastPath bool
 
+	// TentativeExecution enables Castro–Liskov speculative execution in
+	// the replication domains (not the Group Manager): elements execute
+	// prepared-but-uncommitted batches, mark the resulting replies
+	// tentative on the wire, and clients accept 2f+1 matching tentative
+	// replies — one virtual commit round earlier than the committed path —
+	// falling back to an ordered retry on quorum failure. Off by default —
+	// the legacy wire streams stay byte-identical.
+	TentativeExecution bool
+
 	// ITC, when non-nil, enables the intrusion-tolerance controller: a
 	// deployment-level singleton that turns the stack's detection signals
 	// (voter fault reports, fallback attributions, tampered shares,
@@ -536,6 +545,9 @@ func (sys *System) buildDomain(spec DomainSpec) error {
 		ViewTimeout:        sys.cfg.ViewTimeout,
 		MaxBatch:           sys.cfg.MaxBatch,
 		BatchWait:          sys.cfg.BatchWait,
+		// GM delivery handling is not rollback-safe, so speculation is a
+		// replication-domain option only (see buildGM).
+		TentativeExecution: sys.cfg.TentativeExecution,
 		Ring:               ring,
 		Metrics:            sys.cfg.Metrics,
 		Flight:             sys.cfg.Flight,

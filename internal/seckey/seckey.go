@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 )
 
 // KeySize is the communication key length in bytes.
@@ -50,6 +51,20 @@ const (
 	headerLen = 8 + 4 // seqno + payload length
 )
 
+// Sealed-message framing constants for callers that reserve the seal
+// region in a shared buffer (zero-copy pipeline):
+//
+//	seq(8) | len(4) | nonce(16) | ciphertext | hmac(32)
+const (
+	// SealHeadLen is the fixed prefix before the ciphertext.
+	SealHeadLen = headerLen + nonceSize
+	// SealTailLen is the MAC appended after the ciphertext.
+	SealTailLen = macSize
+)
+
+// SealedLen returns the sealed size of an n-byte plaintext.
+func SealedLen(n int) int { return SealHeadLen + n + SealTailLen }
+
 // ErrAuthentication is returned when a sealed message fails integrity
 // verification.
 var ErrAuthentication = errors.New("seckey: message authentication failed")
@@ -61,9 +76,19 @@ var ErrReplay = errors.New("seckey: replayed or stale sequence number")
 // Channel seals and opens messages under one communication key. A Channel
 // is directional state for replay protection: use one per (sender,
 // receiver) flow. Not safe for concurrent use.
+//
+// The AES key schedule and both HMAC states are expanded once at NewChannel
+// and reused for every message — the shared key schedule that lets a batch
+// of envelopes (e.g. the fragments of one large message) seal in one pass
+// with no per-message key setup or allocation.
 type Channel struct {
 	encKey []byte
 	macKey []byte
+
+	block    cipher.Block // cached AES key schedule
+	tagMac   hash.Hash    // cached HMAC(macKey) state for tags
+	nonceMac hash.Hash    // cached HMAC(macKey) state for nonce derivation
+	sumBuf   [sha256.Size]byte
 
 	sendSeq uint64
 	window  replayWindow
@@ -73,10 +98,44 @@ type Channel struct {
 // binds the derived keys to a connection identity (e.g. "connA→B") so the
 // same communication key never keys two flows identically.
 func NewChannel(k Key, context string) *Channel {
-	return &Channel{
+	c := &Channel{
 		encKey: k.derive("enc:" + context),
 		macKey: k.derive("mac:" + context),
 	}
+	block, err := aes.NewCipher(c.encKey)
+	if err != nil {
+		// derive always yields a 32-byte key; aes.NewCipher cannot fail on it.
+		panic(fmt.Sprintf("seckey: cipher: %v", err))
+	}
+	c.block = block
+	c.tagMac = hmac.New(sha256.New, c.macKey)
+	c.nonceMac = hmac.New(sha256.New, c.macKey)
+	return c
+}
+
+// sealRegion fills the sealed-message region buf[start:start+SealedLen(n)]
+// for the plaintext, which either aliases the region's ciphertext span
+// exactly (in-place encryption) or is a separate slice (encrypt-copy in
+// one pass). The caller has already reserved the region.
+func (c *Channel) sealRegion(buf []byte, start int, plaintext []byte) {
+	c.sendSeq++
+	out := buf[start : start+SealedLen(len(plaintext))]
+	binary.BigEndian.PutUint64(out[0:8], c.sendSeq)
+	binary.BigEndian.PutUint32(out[8:12], uint32(len(plaintext)))
+	nonce := out[headerLen : headerLen+nonceSize]
+	// Deterministic nonce derived from (macKey, seq): unique per key+seq,
+	// and reproducible without an entropy source in the hot path.
+	c.nonceMac.Reset()
+	c.nonceMac.Write([]byte("nonce"))
+	c.nonceMac.Write(out[0:8])
+	copy(nonce, c.nonceMac.Sum(c.sumBuf[:0])[:nonceSize])
+
+	ct := out[headerLen+nonceSize : headerLen+nonceSize+len(plaintext)]
+	cipher.NewCTR(c.block, nonce).XORKeyStream(ct, plaintext)
+
+	c.tagMac.Reset()
+	c.tagMac.Write(out[:headerLen+nonceSize+len(plaintext)])
+	copy(out[headerLen+nonceSize+len(plaintext):], c.tagMac.Sum(c.sumBuf[:0]))
 }
 
 // Seal encrypts and authenticates plaintext, assigning the next send
@@ -84,29 +143,19 @@ func NewChannel(k Key, context string) *Channel {
 //
 //	seq(8) | len(4) | nonce(16) | ciphertext | hmac(32)
 func (c *Channel) Seal(plaintext []byte) ([]byte, error) {
-	c.sendSeq++
-	block, err := aes.NewCipher(c.encKey)
-	if err != nil {
-		return nil, fmt.Errorf("seckey: cipher: %w", err)
-	}
-	out := make([]byte, headerLen+nonceSize+len(plaintext)+macSize)
-	binary.BigEndian.PutUint64(out[0:8], c.sendSeq)
-	binary.BigEndian.PutUint32(out[8:12], uint32(len(plaintext)))
-	nonce := out[headerLen : headerLen+nonceSize]
-	// Deterministic nonce derived from (macKey, seq): unique per key+seq,
-	// and reproducible without an entropy source in the hot path.
-	nmac := hmac.New(sha256.New, c.macKey)
-	nmac.Write([]byte("nonce"))
-	nmac.Write(out[0:8])
-	copy(nonce, nmac.Sum(nil)[:nonceSize])
-
-	ct := out[headerLen+nonceSize : headerLen+nonceSize+len(plaintext)]
-	cipher.NewCTR(block, nonce).XORKeyStream(ct, plaintext)
-
-	mac := hmac.New(sha256.New, c.macKey)
-	mac.Write(out[:headerLen+nonceSize+len(plaintext)])
-	copy(out[headerLen+nonceSize+len(plaintext):], mac.Sum(nil))
+	out := make([]byte, SealedLen(len(plaintext)))
+	c.sealRegion(out, 0, plaintext)
 	return out, nil
+}
+
+// SealTo seals plaintext into a region the caller reserved in buf:
+// exactly SealedLen(len(plaintext)) bytes starting at start. The
+// plaintext may alias the region's ciphertext span exactly (the caller
+// staged it at start+SealHeadLen and the encryption happens in place) or
+// live elsewhere (one-pass encrypt-copy) — either way no intermediate
+// sealed buffer is allocated. Output bytes are identical to Seal's.
+func (c *Channel) SealTo(buf []byte, start int, plaintext []byte) {
+	c.sealRegion(buf, start, plaintext)
 }
 
 // Open verifies and decrypts a sealed message, enforcing replay
@@ -122,9 +171,9 @@ func (c *Channel) Open(sealed []byte) ([]byte, error) {
 	}
 	body := sealed[:len(sealed)-macSize]
 	wantMAC := sealed[len(sealed)-macSize:]
-	mac := hmac.New(sha256.New, c.macKey)
-	mac.Write(body)
-	if !hmac.Equal(mac.Sum(nil), wantMAC) {
+	c.tagMac.Reset()
+	c.tagMac.Write(body)
+	if !hmac.Equal(c.tagMac.Sum(c.sumBuf[:0]), wantMAC) {
 		return nil, ErrAuthentication
 	}
 	// Replay check only after authentication: forged sequence numbers must
@@ -132,13 +181,9 @@ func (c *Channel) Open(sealed []byte) ([]byte, error) {
 	if !c.window.accept(seq) {
 		return nil, ErrReplay
 	}
-	block, err := aes.NewCipher(c.encKey)
-	if err != nil {
-		return nil, fmt.Errorf("seckey: cipher: %w", err)
-	}
 	nonce := sealed[headerLen : headerLen+nonceSize]
 	pt := make([]byte, plen)
-	cipher.NewCTR(block, nonce).XORKeyStream(pt, sealed[headerLen+nonceSize:headerLen+nonceSize+plen])
+	cipher.NewCTR(c.block, nonce).XORKeyStream(pt, sealed[headerLen+nonceSize:headerLen+nonceSize+plen])
 	return pt, nil
 }
 

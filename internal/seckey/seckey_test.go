@@ -203,3 +203,62 @@ func TestQuickOpenGarbageNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSealToMatchesSeal pins the zero-copy sealing primitive: SealTo into
+// a reserved region — whether the plaintext is staged in place in the
+// region's ciphertext span or lives in a separate buffer — produces bytes
+// identical to Seal from the same channel state.
+func TestSealToMatchesSeal(t *testing.T) {
+	var k Key
+	copy(k[:], "0123456789abcdef0123456789abcdef")
+	pt := []byte("the plaintext to protect, somewhat longer than a block")
+
+	ref := NewChannel(k, "ctx")
+	want, err := ref.Seal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Encrypt-copy mode: plaintext in a separate buffer.
+	c1 := NewChannel(k, "ctx")
+	buf := append([]byte(nil), []byte("prefix")...)
+	start := len(buf)
+	buf = append(buf, make([]byte, SealedLen(len(pt)))...)
+	c1.SealTo(buf, start, pt)
+	if !bytes.Equal(buf[start:], want) {
+		t.Fatal("SealTo (copy mode) differs from Seal")
+	}
+
+	// In-place mode: plaintext staged in the region's ciphertext span.
+	c2 := NewChannel(k, "ctx")
+	buf2 := make([]byte, SealedLen(len(pt)))
+	copy(buf2[SealHeadLen:], pt)
+	c2.SealTo(buf2, 0, buf2[SealHeadLen:SealHeadLen+len(pt)])
+	if !bytes.Equal(buf2, want) {
+		t.Fatal("SealTo (in-place mode) differs from Seal")
+	}
+
+	// Both open cleanly at the receiver.
+	r := NewChannel(k, "ctx")
+	got, err := r.Open(buf[start:])
+	if err != nil || !bytes.Equal(got, pt) {
+		t.Fatalf("Open after SealTo: %v", err)
+	}
+}
+
+// TestSealedLenConstants keeps the framing constants in lockstep with the
+// wire layout.
+func TestSealedLenConstants(t *testing.T) {
+	var k Key
+	c := NewChannel(k, "x")
+	sealed, err := c.Seal(make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != SealedLen(100) {
+		t.Fatalf("SealedLen(100) = %d, wire = %d", SealedLen(100), len(sealed))
+	}
+	if SealHeadLen != headerLen+nonceSize || SealTailLen != macSize {
+		t.Fatal("framing constants drifted from the wire layout")
+	}
+}

@@ -78,6 +78,26 @@ func TestGenSMIOPCorpus(t *testing.T) {
 				chunk(1, 1, 2, 0, []byte("b1"))...)...)...)
 	// Half a message, then the same member switches request context.
 	replaced := append(chunk(2, 0, 3, 0, []byte("old")), chunk(2, 0, 2, 6, []byte("new"))...)
+	// Pooled-aliasing seeds: the fuzz harness stages every fragment in a
+	// pooled arena buffer and poisons it once a message completes, so
+	// these shapes prove reassembly copies out of pooled backing arrays.
+	// Back-to-back completions from one member recycle that member's
+	// arena class while the second message is in flight; a completion
+	// racing another member's half-done message poisons fragments the
+	// reassembler still holds for the slower sender.
+	var backToBack []byte
+	for _, msg := range [][]byte{[]byte("first|msg"), []byte("second|msg")} {
+		backToBack = append(backToBack, chunk(0, 0, 2, 8, msg[:5])...)
+		backToBack = append(backToBack, chunk(0, 1, 2, 8, msg[5:])...)
+	}
+	completeOverHalfDone := append(chunk(2, 0, 3, 0, []byte("slow-head")),
+		append(chunk(3, 0, 2, 0, []byte("fast-head")),
+			append(chunk(3, 1, 2, 0, []byte("fast-tail")),
+				append(chunk(2, 1, 3, 0, []byte("slow-mid")),
+					chunk(2, 2, 3, 0, []byte("slow-tail"))...)...)...)...)
+	duplicated := append(chunk(1, 0, 2, 10, []byte("dup")),
+		append(chunk(1, 0, 2, 10, []byte("dup")),
+			chunk(1, 1, 2, 10, []byte("end"))...)...)
 	seeds := [][]byte{
 		chunk(0, 0, 0, 0, []byte("unfragmented giop payload")),
 		inOrder,
@@ -86,6 +106,9 @@ func TestGenSMIOPCorpus(t *testing.T) {
 		replaced,
 		chunk(3, 9, 4, 0, []byte("index past count")),
 		chunk(3, 1, 2, 0, nil), // empty fragment payload
+		backToBack,
+		completeOverHalfDone,
+		duplicated,
 	}
 	for i, seed := range seeds {
 		name := filepath.Join(dir, fmt.Sprintf("seed-%d", i))

@@ -3,6 +3,8 @@ package smiop
 import (
 	"bytes"
 	"testing"
+
+	"itdos/internal/pool"
 )
 
 // FuzzReplyDigestDecode drives the digest-payload parser with arbitrary
@@ -38,14 +40,32 @@ func FuzzReplyDigestDecode(f *testing.F) {
 // message longer than its declared fragments, and always reject fragment
 // coordinates that lie outside the declared count.
 //
+// Every fragment payload is staged in a pooled arena buffer with
+// release-time poisoning on, mirroring the zero-copy receive path where
+// opened plaintext aliases pooled backing arrays. A completed message must
+// be a fresh copy: releasing (and poisoning) every contributing fragment
+// buffer after completion must not alter the reassembled bytes. Run under
+// -race; any retained alias shows up as poisoned output here and as a
+// read-after-recycle race there.
+//
 // Input format, repeated until exhausted:
 //
 //	member(1) | fragIndex(1) | fragCount(1) | flags(1) | len(1) | payload
 func FuzzSMIOPReassemble(f *testing.F) {
 	f.Add([]byte{0, 0, 2, 0, 1, 'a', 0, 1, 2, 0, 1, 'b'})
 	f.Add([]byte{1, 5, 3, 0, 0})
+	pool.SetPoison(true)
+	f.Cleanup(func() { pool.SetPoison(false) })
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := newReassembler()
+		var live []*pool.Buffer // fragment buffers the reassembler may still alias
+		releaseAll := func() {
+			for _, pb := range live {
+				pb.Release()
+			}
+			live = live[:0]
+		}
+		defer releaseAll()
 		for len(data) >= 5 {
 			env := &Envelope{
 				Kind:      KindData,
@@ -60,7 +80,10 @@ func FuzzSMIOPReassemble(f *testing.F) {
 			if n > len(data) {
 				n = len(data)
 			}
-			payload := append([]byte(nil), data[:n]...)
+			pb := pool.Get(n)
+			pb.B = append(pb.B, data[:n]...)
+			payload := pb.B
+			live = append(live, pb)
 			data = data[n:]
 
 			whole, err := r.add(env, payload)
@@ -73,7 +96,8 @@ func FuzzSMIOPReassemble(f *testing.F) {
 			}
 			switch {
 			case env.FragCount < 2:
-				// Unfragmented messages pass straight through.
+				// Unfragmented messages pass straight through, aliasing the
+				// caller-owned input by contract; compare before releasing.
 				if !bytes.Equal(whole, payload) {
 					t.Fatalf("unfragmented payload altered: %q != %q", whole, payload)
 				}
@@ -86,6 +110,15 @@ func FuzzSMIOPReassemble(f *testing.F) {
 				}
 				if r.byMember[env.SrcMember] != nil {
 					t.Fatal("completed buffer not released")
+				}
+				// The reassembled message must not alias any pooled fragment:
+				// poison every buffer fed in so far and require the bytes to
+				// survive unchanged.
+				snap := append([]byte(nil), whole...)
+				releaseAll()
+				if !bytes.Equal(whole, snap) {
+					t.Fatalf("reassembled message aliases a released pooled fragment:\n%q !=\n%q",
+						whole, snap)
 				}
 			}
 		}

@@ -262,6 +262,22 @@ func (s *Stream) ExpectReadOnlyReply(requestID uint64, iface, op string) error {
 	return nil
 }
 
+// ExpectTentativeReply arms the voter for tentative replies to an ordered
+// invocation against a group running speculative execution. The threshold
+// is 2f+1: that many matching tentative replies imply a prepared
+// certificate at f+1 correct replicas, so the batch survives any view
+// change and commits with the same result (Castro–Liskov tentative
+// execution acceptance rule).
+func (s *Stream) ExpectTentativeReply(requestID uint64, iface, op string) error {
+	s.expectedIface, s.expectedOp = iface, op
+	threshold := quorum.ReadOnly(s.conn.Peer.F)
+	if err := s.cv.ExpectThreshold(requestID, s.comparator(), threshold); err != nil {
+		return err
+	}
+	s.armed()
+	return nil
+}
+
 // RetryReply re-arms the voter for the same request id with fresh state —
 // the retry path after a rekey killed the in-flight vote, and the digest
 // fallback path re-requesting full replies for the same request.

@@ -1,0 +1,176 @@
+package smiop
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"itdos/internal/cdr"
+	"itdos/internal/giop"
+)
+
+// Benchmarks for the reply seal chain — the hot path the zero-copy
+// tentpole refactored. Legacy: EncodeReply materialises the GIOP message,
+// SealSignedDataFragmented copies it into a signed payload and per-fragment
+// seals, and Envelope.Encode re-serialises each wire image. ZeroCopy:
+// SealGIOPWire encodes the message once at its final payload offset inside
+// a pooled arena, seals in place, and slices fragments without copying.
+// `make bench-mem` records both under -benchmem and the budget test below
+// gates the zero-copy path's allocs/op against a committed baseline.
+
+func benchConn(b *testing.B) *Connection {
+	b.Helper()
+	local := PeerInfo{Name: "bank", N: 4, F: 1}
+	peer := PeerInfo{Name: "client", N: 1, F: 0}
+	conn, err := NewConnection(11, local, 2, peer, testKey(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return conn
+}
+
+func benchSign(msg []byte) []byte {
+	sum := sha256.Sum256(msg)
+	return sum[:]
+}
+
+var benchSizes = []int{512, 4 << 10, 64 << 10}
+
+func BenchmarkSealChainLegacy(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			conn := benchConn(b)
+			rep := &giop.Reply{RequestID: 7, Status: giop.StatusNoException,
+				Body: make([]byte, size)}
+			var sink int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gb := giop.EncodeReply(cdr.BigEndian, rep)
+				envs, err := conn.SealSignedDataFragmented(uint64(i+1), true, gb, benchSign, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, env := range envs {
+					sink += len(env.Encode())
+				}
+			}
+			if sink == 0 {
+				b.Fatal("sealed zero bytes")
+			}
+		})
+	}
+}
+
+func BenchmarkSealChainZeroCopy(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			conn := benchConn(b)
+			rep := &giop.Reply{RequestID: 7, Status: giop.StatusNoException,
+				Body: make([]byte, size)}
+			var sink int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				frames, err := conn.SealGIOPWire(uint64(i+1), true, func(dst []byte) []byte {
+					return giop.AppendReply(dst, cdr.BigEndian, rep)
+				}, benchSign, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, f := range frames {
+					sink += len(f.B)
+				}
+				ReleaseFrames(frames)
+			}
+			if sink == 0 {
+				b.Fatal("sealed zero bytes")
+			}
+		})
+	}
+}
+
+// allocBudget is the committed allocation baseline for the zero-copy seal
+// chain, keyed by payload size. Regenerate with:
+//
+//	go test -run TestSealChainAllocBudget -update-alloc-budget ./internal/smiop
+type allocBudget struct {
+	// AllocsPerOp maps "<size>B" to the measured allocations per sealed
+	// reply at the time the baseline was committed.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+}
+
+const allocBudgetPath = "testdata/alloc_budget.json"
+
+var updateAllocBudget = flag.Bool("update-alloc-budget", false,
+	"rewrite testdata/alloc_budget.json with current measurements")
+
+// TestSealChainAllocBudget gates the zero-copy seal chain's allocation
+// count: a regression of more than 10% over the committed baseline fails
+// (make bench-mem, run in CI). The race detector and coverage
+// instrumentation add allocations of their own, so the gate only runs on
+// plain builds — `make race` uses -short and skips it.
+func TestSealChainAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counts are only stable on plain builds")
+	}
+	measured := make(map[string]float64, len(benchSizes))
+	for _, size := range benchSizes {
+		conn, err := NewConnection(11, PeerInfo{Name: "bank", N: 4, F: 1}, 2,
+			PeerInfo{Name: "client", N: 1, F: 0}, testKey(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := &giop.Reply{RequestID: 7, Status: giop.StatusNoException,
+			Body: make([]byte, size)}
+		var sink int
+		var id uint64
+		allocs := testing.AllocsPerRun(200, func() {
+			id++
+			frames, err := conn.SealGIOPWire(id, true, func(dst []byte) []byte {
+				return giop.AppendReply(dst, cdr.BigEndian, rep)
+			}, benchSign, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range frames {
+				sink += len(f.B)
+			}
+			ReleaseFrames(frames)
+		})
+		measured[fmt.Sprintf("%dB", size)] = allocs
+	}
+	if *updateAllocBudget {
+		out, err := json.MarshalIndent(allocBudget{AllocsPerOp: measured}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(allocBudgetPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline rewritten: %v", measured)
+		return
+	}
+	raw, err := os.ReadFile(allocBudgetPath)
+	if err != nil {
+		t.Fatalf("no committed baseline (run with -update-alloc-budget): %v", err)
+	}
+	var budget allocBudget
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		t.Fatal(err)
+	}
+	for key, got := range measured {
+		want, ok := budget.AllocsPerOp[key]
+		if !ok {
+			t.Errorf("%s: no committed budget (run with -update-alloc-budget)", key)
+			continue
+		}
+		if got > want*1.10 {
+			t.Errorf("%s: %.1f allocs/op exceeds committed baseline %.1f by more than 10%%",
+				key, got, want)
+		}
+	}
+}

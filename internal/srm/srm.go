@@ -21,6 +21,8 @@
 package srm
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -60,11 +62,20 @@ type Queue struct {
 	// element can replay retained messages before execution resumes.
 	onRestore func()
 
+	// tentative marks executions driven by pbft speculation (prepared but
+	// not yet committed batches); deliveries made while it is set are
+	// provisional and subject to rollback.
+	tentative bool
+
 	// gDepth publishes the retained window depth (nil-safe).
 	gDepth *obs.Gauge
 }
 
-var _ pbft.App = (*Queue)(nil)
+var (
+	_ pbft.App            = (*Queue)(nil)
+	_ pbft.TentativeApp   = (*Queue)(nil)
+	_ pbft.SpeculativeApp = (*Queue)(nil)
+)
 
 // NewQueue creates a queue retaining at most capacity messages.
 func NewQueue(capacity int, onAppend func(seq uint64, sender string, data []byte)) *Queue {
@@ -156,6 +167,27 @@ func (q *Queue) Restore(snapshot []byte) error {
 	return nil
 }
 
+// SetTentative implements pbft.TentativeApp: the replica brackets
+// speculative execution with it, so deliveries made inside the bracket can
+// be tagged provisional (Tentative reports the flag during delivery).
+func (q *Queue) SetTentative(on bool) { q.tentative = on }
+
+// Tentative reports whether the queue is currently executing speculatively.
+func (q *Queue) Tentative() bool { return q.tentative }
+
+// RestoreSpeculation implements pbft.SpeculativeApp: a speculative rollback
+// replaces the queue from the committed-base snapshot WITHOUT the
+// Resynchronise replay a real state transfer triggers — the pbft layer
+// re-executes the confirmed suffix itself, and the element reconciles the
+// resulting redeliveries against its tentative-delivery hashes.
+func (q *Queue) RestoreSpeculation(snapshot []byte) error {
+	saved := q.onRestore
+	q.onRestore = nil
+	err := q.Restore(snapshot)
+	q.onRestore = saved
+	return err
+}
+
 // Reset discards the retained window and rewinds the sequence counter to
 // the initial state, without firing onRestore. pbft.Replica.Recover calls
 // it (through an optional interface) when a replica restarts from clean
@@ -189,6 +221,15 @@ type Element struct {
 	// and (in a fuller system) replaced — the virtual-synchrony expulsion
 	// of paper §3.1.
 	OnDesync func(gapStart, gapEnd uint64)
+
+	// specHashes records the content hash of every delivery made while the
+	// queue was executing tentatively, keyed by queue sequence. After a
+	// speculative rollback the confirmed replay (or the new view's
+	// re-commit) re-executes those sequences; a redelivery whose content
+	// matches is confirmation and is suppressed, a mismatch means the
+	// consumer acted on content that never committed — irreversible, so
+	// the element desyncs.
+	specHashes map[uint64][32]byte
 
 	// Delivery counters (nil-safe; nil when the domain is unobserved).
 	mDelivered *obs.Counter
@@ -224,6 +265,12 @@ type DomainConfig struct {
 	// (see pbft.Config). Zero values select the legacy unbatched protocol.
 	MaxBatch  int
 	BatchWait time.Duration
+	// TentativeExecution enables Castro–Liskov speculative execution in
+	// the ordering layer: elements deliver prepared-but-uncommitted
+	// messages tentatively (Queue.Tentative reports the flag during the
+	// delivery upcall) and reconcile redeliveries after a rollback. Off by
+	// default — the off path is byte-identical to the committed protocol.
+	TentativeExecution bool
 	// Ring carries Ed25519 identities; nil selects null authentication.
 	Ring *pbft.Keyring
 	// Metrics, if non-nil, receives SRM delivery counters and the
@@ -250,6 +297,7 @@ func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
 		ViewTimeout:        cfg.ViewTimeout,
 		MaxBatch:           cfg.MaxBatch,
 		BatchWait:          cfg.BatchWait,
+		TentativeExecution: cfg.TentativeExecution,
 		Metrics:            cfg.Metrics,
 		MetricsLabel:       cfg.Name,
 		Flight:             cfg.Flight,
@@ -286,16 +334,69 @@ func (d *Domain) Addrs() []netsim.NodeID { return d.Group.Addrs }
 
 // deliver pushes one freshly ordered message to the consumer.
 func (el *Element) deliver(seq uint64, sender string, data []byte) {
+	if seq <= el.lastDelivered {
+		// Redelivery: a speculative rollback rewound the queue and the
+		// replay re-executed a message the consumer already received
+		// tentatively. Reconcile against the recorded content hash.
+		if h, ok := el.specHashes[seq]; ok {
+			if h == deliveryHash(sender, data) {
+				delete(el.specHashes, seq) // confirmed: suppress
+				return
+			}
+			// The committed content diverged from what the consumer was
+			// handed — the upcall cannot be undone, so virtual synchrony
+			// is lost for this element (paper §3.1 expulsion).
+			el.desync(seq, seq)
+			return
+		}
+		return
+	}
 	if seq != el.lastDelivered+1 {
 		// Ordered execution is sequential, so this indicates a restore
 		// happened without replay — handled in Resynchronise.
 		el.desync(el.lastDelivered+1, seq)
+	}
+	if el.queue.Tentative() {
+		el.noteTentative(seq, sender, data)
 	}
 	el.lastDelivered = seq
 	el.mDelivered.Inc()
 	if el.OnDeliver != nil {
 		el.OnDeliver(seq, sender, data)
 	}
+}
+
+// noteTentative records a tentative delivery's content hash for later
+// reconciliation, bounding the table at the queue capacity.
+func (el *Element) noteTentative(seq uint64, sender string, data []byte) {
+	if el.specHashes == nil {
+		el.specHashes = make(map[uint64][32]byte)
+	}
+	el.specHashes[seq] = deliveryHash(sender, data)
+	if len(el.specHashes) > el.queue.capacity {
+		// An entry older than the retained window can never be usefully
+		// reconciled anyway — an element that far behind desyncs.
+		var oldest uint64
+		for s := range el.specHashes {
+			if oldest == 0 || s < oldest {
+				oldest = s
+			}
+		}
+		delete(el.specHashes, oldest)
+	}
+}
+
+// deliveryHash is the reconciliation digest of one delivery's content.
+func deliveryHash(sender string, data []byte) [32]byte {
+	h := sha256.New()
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(sender)))
+	h.Write(n[:])
+	h.Write([]byte(sender))
+	h.Write(data)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
 }
 
 // Resynchronise replays retained messages after a PBFT state transfer
@@ -322,6 +423,15 @@ func (el *Element) Resynchronise() {
 	}
 	for _, m := range el.queue.messages() {
 		if m.seq <= el.lastDelivered {
+			// The authoritative window covers a message the consumer may
+			// have received only tentatively; reconcile its content.
+			if h, ok := el.specHashes[m.seq]; ok {
+				if h != deliveryHash(m.sender, m.data) {
+					el.desync(m.seq, m.seq)
+					return
+				}
+				delete(el.specHashes, m.seq)
+			}
 			continue
 		}
 		el.lastDelivered = m.seq
