@@ -86,14 +86,56 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReplyDigestDecode -fuzztime=$(FUZZTIME) ./internal/smiop
 	$(GO) test -run='^$$' -fuzz=FuzzSealedOpen -fuzztime=$(FUZZTIME) ./internal/seckey
 	$(GO) test -run='^$$' -fuzz=FuzzPrePrepareDecode -fuzztime=$(FUZZTIME) ./internal/pbft
+	$(GO) test -run='^$$' -fuzz=FuzzTCPFrameDecode -fuzztime=$(FUZZTIME) ./internal/transport/tcp
 
 # Replay the committed seed corpora without fuzzing (fast; part of CI).
 fuzz-smoke:
-	$(GO) test -run='Fuzz' ./internal/cdr ./internal/giop ./internal/smiop ./internal/seckey ./internal/pbft
+	$(GO) test -run='Fuzz' ./internal/cdr ./internal/giop ./internal/smiop ./internal/seckey ./internal/pbft ./internal/transport/tcp
 
 # Regenerate the committed fuzz seed corpora from golden vectors.
 corpus:
-	$(GO) test -tags corpusgen -run 'TestGen.*Corpus' ./internal/cdr ./internal/giop ./internal/smiop ./internal/seckey
+	$(GO) test -tags corpusgen -run 'TestGen.*Corpus' ./internal/cdr ./internal/giop ./internal/smiop ./internal/seckey ./internal/transport/tcp
+
+# --- real-socket cluster harness (cmd/itdos-cluster, cmd/itdos-load) ---
+
+# Build the cluster binaries and a default 4-node loopback spec.
+.PHONY: cluster-build
+cluster-build:
+	mkdir -p cluster-out
+	$(GO) build -o cluster-out/itdos-cluster ./cmd/itdos-cluster
+	$(GO) build -o cluster-out/itdos-load ./cmd/itdos-load
+	cluster-out/itdos-cluster -init -spec cluster-out/cluster.json
+
+# Start a local 3f+1 cluster in the background (pids in cluster-out/).
+.PHONY: cluster-up
+cluster-up: cluster-build
+	@for n in node0 node1 node2 node3; do \
+		cluster-out/itdos-cluster -spec cluster-out/cluster.json -node $$n & \
+		echo $$! >> cluster-out/pids; \
+	done; \
+	echo "cluster up; drive it with: cluster-out/itdos-load -spec cluster-out/cluster.json -rate 200"
+
+# Kill a cluster started with cluster-up.
+.PHONY: cluster-down
+cluster-down:
+	-@if [ -f cluster-out/pids ]; then \
+		kill $$(cat cluster-out/pids) 2>/dev/null; rm -f cluster-out/pids; \
+		echo "cluster down"; \
+	fi
+
+# CI gate: boot a real 4-process cluster over loopback, drive 200
+# requests through itdos-load, fail on any error or timeout.
+.PHONY: cluster-smoke
+cluster-smoke:
+	bash scripts/cluster-smoke.sh
+
+# Wall-clock arrival-rate sweep over loopback TCP (experiment W1,
+# schema itdos-bench/2). CI uploads the JSON as an artifact.
+.PHONY: bench-w1
+bench-w1:
+	mkdir -p bench-out
+	$(GO) run ./cmd/itdos-bench -exp W1 -json -out bench-out
 
 clean:
 	$(GO) clean ./...
+	rm -rf cluster-out

@@ -1,0 +1,37 @@
+// Package tcp holds bounded-decode fixtures for the stream-transport frame
+// decoder: the u32 length prefix arrives from an unauthenticated socket, so
+// sizing an allocation by it without a cap lets a single 4-byte header
+// demand gigabytes before any signature is checked.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+var errHdr = errors.New("short header")
+
+// The frame-reader hole: length prefix straight into make. A peer that
+// writes 0xFFFFFFFF and hangs up costs us a 4 GiB allocation attempt.
+func readFrameUnbounded(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	bodyLen := binary.BigEndian.Uint32(hdr[:])
+	body := make([]byte, int(bodyLen)) // want:bounded-decode
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// The same hole on an already-buffered header, via uint64.
+func frameBodySize(hdr []byte) ([]byte, error) {
+	if len(hdr) < 8 {
+		return nil, errHdr
+	}
+	n := binary.BigEndian.Uint64(hdr)
+	return make([]byte, n), nil // want:bounded-decode
+}

@@ -1,0 +1,53 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxFrame = 1 << 20
+
+var errFrameTooBig = errors.New("frame exceeds max size")
+
+// The sanctioned shape, mirroring the real readFrame: the length prefix is
+// compared against the connection's frame cap before any allocation.
+func readFrameBounded(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	bodyLen := binary.BigEndian.Uint32(hdr[:])
+	if bodyLen > maxFrame {
+		return nil, errFrameTooBig
+	}
+	body := make([]byte, int(bodyLen))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// A u8 identifier length is bounded by construction (<= 255), so indexing
+// it out of the body and slicing is fine without an explicit cap.
+func splitIdentifier(body []byte) (string, []byte, error) {
+	if len(body) < 1 {
+		return "", nil, errHdr
+	}
+	idLen := int(body[0])
+	body = body[1:]
+	if idLen > len(body) {
+		return "", nil, errHdr
+	}
+	return string(body[:idLen]), body[idLen:], nil
+}
+
+// Clamping the advertised size with min is a valid bound for a read-ahead
+// buffer: we never reserve more than the cap no matter what the peer says.
+func prefetchHint(hdr []byte) []byte {
+	if len(hdr) < 4 {
+		return nil
+	}
+	n := int(binary.BigEndian.Uint32(hdr))
+	return make([]byte, min(n, 4096))
+}

@@ -36,7 +36,7 @@ import (
 	"math"
 	"time"
 
-	"itdos/internal/netsim"
+	"itdos/internal/transport"
 	"itdos/internal/obs"
 	"itdos/internal/obs/flight"
 	"itdos/internal/smiop"
@@ -155,7 +155,7 @@ type memberKey struct {
 // Controller is the intrusion-tolerance controller singleton.
 type Controller struct {
 	cfg     Config
-	net     *netsim.Network
+	net     transport.Transport
 	act     Actions
 	domains []Domain
 	metrics *obs.Registry
@@ -179,7 +179,7 @@ type Controller struct {
 	active         int
 
 	started bool
-	timer   netsim.Timer
+	timer   transport.Timer
 
 	mRekeys     *obs.Counter
 	mExpulsions *obs.Counter
@@ -199,7 +199,7 @@ type Controller struct {
 // appends its observations and responses to the "itc" ring and snapshots
 // every ring when a member crosses the suspicion or expulsion threshold,
 // so each graduated response ships with its evidence timeline.
-func New(cfg Config, net *netsim.Network, act Actions, domains []Domain,
+func New(cfg Config, net transport.Transport, act Actions, domains []Domain,
 	metrics *obs.Registry, tracer *obs.Tracer, rec *flight.Recorder) (*Controller, error) {
 	cfg.fill()
 	if net == nil || act == nil {

@@ -17,27 +17,27 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"itdos/internal/transport"
 )
 
-// NodeID identifies a simulated process endpoint.
-type NodeID string
+// The simulator implements transport.Transport; the identifier types are
+// aliases so protocol code written against either package interoperates
+// without conversion.
+type (
+	// NodeID identifies a simulated process endpoint.
+	NodeID = transport.NodeID
+	// GroupID identifies a multicast group.
+	GroupID = transport.GroupID
+	// Handler receives messages delivered to a node.
+	Handler = transport.Handler
+	// HandlerFunc adapts a function to the Handler interface.
+	HandlerFunc = transport.HandlerFunc
+	// Timer is a handle for cancelling a scheduled callback.
+	Timer = transport.Timer
+)
 
-// GroupID identifies a multicast group.
-type GroupID string
-
-// Handler receives messages delivered to a node.
-type Handler interface {
-	// Receive is invoked inline by the simulator when a message arrives.
-	// Implementations may call back into the Network (Send, Multicast,
-	// After) but must not retain payload beyond the call.
-	Receive(from NodeID, payload []byte)
-}
-
-// HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(from NodeID, payload []byte)
-
-// Receive implements Handler.
-func (f HandlerFunc) Receive(from NodeID, payload []byte) { f(from, payload) }
+var _ transport.Transport = (*Network)(nil)
 
 // Filter inspects (and may drop or mutate) a message in flight. Filters are
 // how tests inject Byzantine network behaviour without touching protocol
@@ -116,19 +116,6 @@ func (h *eventHeap) Pop() any {
 	old[n-1] = nil
 	*h = old[:n-1]
 	return ev
-}
-
-// Timer is a handle for cancelling a scheduled callback.
-type Timer struct {
-	cancelled *bool
-}
-
-// Stop cancels the timer if it has not fired. Safe to call multiple times
-// and on the zero Timer.
-func (t Timer) Stop() {
-	if t.cancelled != nil {
-		*t.cancelled = true
-	}
 }
 
 // Network is the simulator. Create with NewNetwork; not safe for concurrent
@@ -267,7 +254,7 @@ func (n *Network) After(d time.Duration, fn func()) Timer {
 		at: n.now + d, kind: evTimer,
 		fn: fn, timerID: n.seq, cancelled: cancelled,
 	})
-	return Timer{cancelled: cancelled}
+	return transport.NewTimer(func() { *cancelled = true })
 }
 
 func (n *Network) push(ev *event) {

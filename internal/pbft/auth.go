@@ -2,6 +2,8 @@ package pbft
 
 import (
 	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
 	"fmt"
 	"sync"
 )
@@ -108,6 +110,23 @@ func GenerateIdentity(identity string, ring *Keyring) (ed25519.PrivateKey, error
 		return nil, fmt.Errorf("pbft: generate key for %s: %w", identity, err)
 	}
 	ring.Add(identity, pub)
+	return priv, nil
+}
+
+// DeriveIdentity derives identity's Ed25519 keypair deterministically from
+// a shared seed (HMAC-SHA256(seed, identity) is exactly the 32-byte
+// ed25519 key seed), registering the public key in the ring. Independently
+// built processes of a cluster use this to agree on all key material
+// without a key-distribution round; the seed must stay as secret as the
+// private keys it generates.
+func DeriveIdentity(identity string, seed []byte, ring *Keyring) (ed25519.PrivateKey, error) {
+	if len(seed) == 0 {
+		return nil, fmt.Errorf("pbft: derive key for %s: empty seed", identity)
+	}
+	mac := hmac.New(sha256.New, seed)
+	mac.Write([]byte(identity))
+	priv := ed25519.NewKeyFromSeed(mac.Sum(nil))
+	ring.Add(identity, priv.Public().(ed25519.PublicKey))
 	return priv, nil
 }
 

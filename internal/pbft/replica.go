@@ -89,6 +89,11 @@ type Config struct {
 	TentativeExecution bool
 	// Auth signs and verifies every message.
 	Auth Authenticator
+	// IdentitySeed, when non-nil, makes NewSimGroup derive replica and
+	// client keys deterministically from the seed (DeriveIdentity) instead
+	// of fresh randomness, so independently built cluster processes agree
+	// on key material. Ignored by NewReplica itself.
+	IdentitySeed []byte
 	// Metrics, if non-nil, receives protocol-phase counters. MetricsLabel
 	// groups them (e.g. the replication domain name); counters are shared
 	// across replicas of the same group so they count group-wide events.

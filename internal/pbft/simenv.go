@@ -4,18 +4,18 @@ import (
 	"fmt"
 	"time"
 
-	"itdos/internal/netsim"
+	"itdos/internal/transport"
 )
 
-// SimReplicaEnv adapts a netsim.Network to the replica Env interface.
+// SimReplicaEnv adapts a transport.Transport to the replica Env interface.
 type SimReplicaEnv struct {
-	net          *netsim.Network
-	self         netsim.NodeID
-	addrs        []netsim.NodeID
+	net          transport.Transport
+	self         transport.NodeID
+	addrs        []transport.NodeID
 	selfIdx      ReplicaID
-	timer        netsim.Timer
+	timer        transport.Timer
 	onTimer      func()
-	batchTimer   netsim.Timer
+	batchTimer   transport.Timer
 	onBatchTimer func()
 }
 
@@ -23,7 +23,7 @@ var _ Env = (*SimReplicaEnv)(nil)
 
 // NewSimReplicaEnv creates an Env for replica selfIdx whose group members
 // live at addrs on net.
-func NewSimReplicaEnv(net *netsim.Network, addrs []netsim.NodeID, selfIdx ReplicaID) *SimReplicaEnv {
+func NewSimReplicaEnv(net transport.Transport, addrs []transport.NodeID, selfIdx ReplicaID) *SimReplicaEnv {
 	return &SimReplicaEnv{net: net, self: addrs[selfIdx], addrs: addrs, selfIdx: selfIdx}
 }
 
@@ -47,7 +47,7 @@ func (e *SimReplicaEnv) Broadcast(data []byte) {
 
 // SendAddr implements Env.
 func (e *SimReplicaEnv) SendAddr(addr string, data []byte) {
-	e.net.Send(e.self, netsim.NodeID(addr), data)
+	e.net.Send(e.self, transport.NodeID(addr), data)
 }
 
 // SetTimer implements Env.
@@ -73,12 +73,12 @@ func (e *SimReplicaEnv) SetBatchTimer(d time.Duration) {
 	})
 }
 
-// SimClientEnv adapts a netsim.Network to the ClientEnv interface.
+// SimClientEnv adapts a transport.Transport to the ClientEnv interface.
 type SimClientEnv struct {
-	net     *netsim.Network
-	self    netsim.NodeID
-	addrs   []netsim.NodeID
-	timer   netsim.Timer
+	net     transport.Transport
+	self    transport.NodeID
+	addrs   []transport.NodeID
+	timer   transport.Timer
 	onTimer func()
 }
 
@@ -86,7 +86,7 @@ var _ ClientEnv = (*SimClientEnv)(nil)
 
 // NewSimClientEnv creates a ClientEnv for a client at self addressing the
 // replica group at addrs.
-func NewSimClientEnv(net *netsim.Network, self netsim.NodeID, addrs []netsim.NodeID) *SimClientEnv {
+func NewSimClientEnv(net transport.Transport, self transport.NodeID, addrs []transport.NodeID) *SimClientEnv {
 	return &SimClientEnv{net: net, self: self, addrs: addrs}
 }
 
@@ -119,21 +119,21 @@ func (e *SimClientEnv) SetTimer(d time.Duration) {
 func (e *SimClientEnv) StopTimer() { e.timer.Stop() }
 
 // SimGroup is a convenience harness: a full replica group wired onto a
-// simulated network, used by the SRM layer, tests and benchmarks.
+// transport, used by the SRM layer, tests and benchmarks.
 type SimGroup struct {
 	Name     string
-	Net      *netsim.Network
+	Net      transport.Transport
 	Replicas []*Replica
 	Envs     []*SimReplicaEnv
-	Addrs    []netsim.NodeID
+	Addrs    []transport.NodeID
 	Cfg      Config
 }
 
 // GroupAddrs returns the node ids for a group of n replicas named name.
-func GroupAddrs(name string, n int) []netsim.NodeID {
-	addrs := make([]netsim.NodeID, n)
+func GroupAddrs(name string, n int) []transport.NodeID {
+	addrs := make([]transport.NodeID, n)
 	for i := range addrs {
-		addrs[i] = netsim.NodeID(fmt.Sprintf("%s/r%d", name, i))
+		addrs[i] = transport.NodeID(fmt.Sprintf("%s/r%d", name, i))
 	}
 	return addrs
 }
@@ -143,20 +143,27 @@ func GroupAddrs(name string, n int) []netsim.NodeID {
 // The cfg.ID and cfg.Auth fields are filled per replica; cfg.Auth on input
 // may be nil, in which case fresh Ed25519 identities are generated into
 // ring (which must then be shared with clients).
-func NewSimGroup(net *netsim.Network, name string, cfg Config, ring *Keyring,
+func NewSimGroup(net transport.Transport, name string, cfg Config, ring *Keyring,
 	appFactory func(i int) App) (*SimGroup, error) {
 
 	g := &SimGroup{Name: name, Net: net, Cfg: cfg, Addrs: GroupAddrs(name, cfg.N)}
 	auths := make([]Authenticator, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		identity := replicaKey(ReplicaID(i))
-		if ring != nil {
+		switch {
+		case ring != nil && cfg.IdentitySeed != nil:
+			priv, err := DeriveIdentity(identity, cfg.IdentitySeed, ring)
+			if err != nil {
+				return nil, err
+			}
+			auths[i] = NewEd25519Auth(identity, priv, ring)
+		case ring != nil:
 			priv, err := GenerateIdentity(identity, ring)
 			if err != nil {
 				return nil, err
 			}
 			auths[i] = NewEd25519Auth(identity, priv, ring)
-		} else {
+		default:
 			auths[i] = NewNullAuth(identity)
 		}
 	}
@@ -171,7 +178,7 @@ func NewSimGroup(net *netsim.Network, name string, cfg Config, ring *Keyring,
 		}
 		env.onTimer = rep.HandleTimer
 		env.onBatchTimer = rep.HandleBatchTimer
-		net.AddNode(g.Addrs[i], netsim.HandlerFunc(func(_ netsim.NodeID, payload []byte) {
+		net.AddNode(g.Addrs[i], transport.HandlerFunc(func(_ transport.NodeID, payload []byte) {
 			rep.HandleMessage(payload)
 		}))
 		g.Replicas = append(g.Replicas, rep)
@@ -201,7 +208,7 @@ func (g *SimGroup) NewSimClient(id, addr string, ring *Keyring, timeout time.Dur
 // whose public key the group's replicas can already verify (the caller is
 // responsible for having registered it in the group's keyring).
 func (g *SimGroup) NewSimClientWithAuth(id, addr string, auth Authenticator, timeout time.Duration) (*Client, error) {
-	env := NewSimClientEnv(g.Net, netsim.NodeID(addr), g.Addrs)
+	env := NewSimClientEnv(g.Net, transport.NodeID(addr), g.Addrs)
 	cli, err := NewClient(ClientConfig{
 		ID: id, ReplyAddr: addr, N: g.Cfg.N, F: g.Cfg.F,
 		RetransmitTimeout: timeout, Auth: auth,
@@ -210,7 +217,7 @@ func (g *SimGroup) NewSimClientWithAuth(id, addr string, auth Authenticator, tim
 		return nil, err
 	}
 	env.onTimer = cli.HandleTimer
-	g.Net.AddNode(netsim.NodeID(addr), netsim.HandlerFunc(func(_ netsim.NodeID, payload []byte) {
+	g.Net.AddNode(transport.NodeID(addr), transport.HandlerFunc(func(_ transport.NodeID, payload []byte) {
 		cli.HandleMessage(payload)
 	}))
 	return cli, nil

@@ -46,7 +46,7 @@ func newClient(sys *System, spec ClientSpec) (*Client, error) {
 	c.init(sys, spec.Name, smiop.PeerInfo{Name: spec.Name, N: 1, F: 0}, 0, spec.Profile)
 	c.orb = orb.NewClient(sys.registry, c, spec.Profile.Order)
 	c.orb.Metrics = sys.cfg.Metrics
-	sys.Net.AddNode(netsim.NodeID(clientInboxAddr(spec.Name)),
+	sys.tr.AddNode(netsim.NodeID(clientInboxAddr(spec.Name)),
 		netsim.HandlerFunc(func(_ netsim.NodeID, payload []byte) { c.onInbox(payload) }))
 	return c, nil
 }
@@ -65,6 +65,20 @@ func (c *Client) Go(fn func() error) *Async {
 		a.done = true
 	})
 	return a
+}
+
+// GoNotify schedules application code like Go and invokes done(err) on
+// the client's logical thread when it completes. Live-transport drivers
+// block on a channel signalled from done instead of driving the simulator;
+// like schedule itself it must be invoked on the transport's delivery
+// thread (Post on a live backend).
+func (c *Client) GoNotify(fn func() error, done func(error)) {
+	c.schedule(func() {
+		err := fn()
+		if done != nil {
+			done(err)
+		}
+	})
 }
 
 // Call performs a synchronous CORBA invocation. It must be called from

@@ -66,7 +66,7 @@ func newElement(sys *System, dr *DomainRuntime, member int, profile Profile) (*E
 	el.setHeldGauge() // register the series at zero, not on first stall
 	// Direct (unordered) receive address for the read-only fast path. The
 	// node exists even with the feature off; the handler gates on config.
-	sys.Net.AddNode(netsim.NodeID(elementInboxAddr(dr.Spec.Name, member)),
+	sys.tr.AddNode(netsim.NodeID(elementInboxAddr(dr.Spec.Name, member)),
 		netsim.HandlerFunc(func(_ netsim.NodeID, payload []byte) { el.onDirectInbox(payload) }))
 	return el, nil
 }
@@ -256,7 +256,7 @@ func (el *Element) sendDigestReply(cs *connState, requestID uint64,
 		return false
 	}
 	el.sys.cfg.Metrics.Counter("element_digest_replies_total", "domain="+el.local.Name).Inc()
-	el.sys.Net.Send(netsim.NodeID(el.identity),
+	el.sys.tr.Send(netsim.NodeID(el.identity),
 		netsim.NodeID(clientInboxAddr(cs.peer.Name)), env.Encode())
 	return true
 }
@@ -332,7 +332,7 @@ func (el *Element) serveReadOnly(cs *connState, req *giop.Request, order cdr.Byt
 		el.mFragsOut.Add(uint64(len(frames)))
 	}
 	for _, frame := range frames {
-		el.sys.Net.Send(netsim.NodeID(el.identity),
+		el.sys.tr.Send(netsim.NodeID(el.identity),
 			netsim.NodeID(clientInboxAddr(cs.peer.Name)), frame.B)
 	}
 	smiop.ReleaseFrames(frames)
@@ -356,7 +356,7 @@ func (el *Element) sendReply(cs *connState, requestID uint64, giopBytes []byte) 
 		if cs.peer.N == 1 {
 			// Singleton client: every element replies directly and the
 			// client votes on the copies (paper §3.2).
-			el.sys.Net.Send(netsim.NodeID(el.identity),
+			el.sys.tr.Send(netsim.NodeID(el.identity),
 				netsim.NodeID(clientInboxAddr(cs.peer.Name)), frame.B)
 			frame.Release()
 			continue

@@ -12,6 +12,7 @@ import (
 	"itdos/internal/pool"
 	"itdos/internal/seckey"
 	"itdos/internal/smiop"
+	"itdos/internal/transport"
 	"itdos/internal/vote"
 )
 
@@ -104,7 +105,7 @@ type endpoint struct {
 	conns      map[uint64]*connState
 	connByPeer map[string]uint64
 	collectors map[string]*shareCollector
-	senders    map[string]*sendQueue
+	senders    map[string]*transport.SendQueue
 
 	// ORB-thread scheduling: tasks (inbound upcalls or client application
 	// code) run one at a time; a task parked in a nested invocation blocks
@@ -149,7 +150,7 @@ func (ep *endpoint) init(sys *System, identity string, local smiop.PeerInfo, mem
 	ep.conns = make(map[uint64]*connState)
 	ep.connByPeer = make(map[string]uint64)
 	ep.collectors = make(map[string]*shareCollector)
-	ep.senders = make(map[string]*sendQueue)
+	ep.senders = make(map[string]*transport.SendQueue)
 	if r := sys.cfg.Metrics; r != nil {
 		ep.mConnHits = r.Counter("conn_cache_hits_total")
 		ep.mConnMisses = r.Counter("conn_cache_misses_total")
@@ -314,7 +315,7 @@ func (ep *endpoint) invokeOnce(ref orb.ObjectRef, req *giop.Request, retry bool)
 		for m := 0; m < cs.peer.N; m++ {
 			// The network copies the payload on Send, so one pooled frame
 			// serves every destination and is released right after.
-			ep.sys.Net.Send(netsim.NodeID(ep.identity),
+			ep.sys.tr.Send(netsim.NodeID(ep.identity),
 				netsim.NodeID(elementInboxAddr(cs.peer.Name, m)), directFrame.B)
 		}
 		directFrame.Release()
@@ -386,7 +387,7 @@ func (ep *endpoint) awaitReply(cs *connState, ref orb.ObjectRef, req *giop.Reque
 			// the voter's stall detection, so a virtual-time timeout forces
 			// the fallback.
 			id := req.RequestID
-			timer = ep.sys.Net.After(ep.sys.cfg.SendTimeout, func() {
+			timer = ep.sys.tr.After(ep.sys.cfg.SendTimeout, func() {
 				if w := ep.waiting; w != nil && w.kind == waitReply &&
 					w.connID == cs.conn.ID && w.reqID == id {
 					ep.resume(fallbackSignal{})
@@ -498,7 +499,7 @@ func (ep *endpoint) ensureConn(peer string) (*connState, error) {
 	var arm func(attempt int)
 	arm = func(attempt int) {
 		d := smiop.RetryBackoff(attempt, 2*ep.sys.cfg.SendTimeout, 16*ep.sys.cfg.SendTimeout)
-		retryTimer = ep.sys.Net.After(d, func() {
+		retryTimer = ep.sys.tr.After(d, func() {
 			if w := ep.waiting; w == nil || w.kind != waitConn || w.peer != peer {
 				return
 			}
@@ -530,7 +531,7 @@ func (ep *endpoint) sendOrdered(target string, payload []byte) {
 		ep.senders[target] = q
 	}
 	osp := ep.tracer().StartDetached("srm.order", "target="+target)
-	q.send(payload, osp)
+	q.Send(payload, osp)
 }
 
 // --- inbound path (driver thread) ---
@@ -897,47 +898,3 @@ func (ep *endpoint) ConnTo(peer string) (uint64, bool) {
 	return id, ok
 }
 
-// sendQueue serialises ordered sends: the underlying PBFT client allows
-// one outstanding request, so later payloads wait for the previous ACK.
-// Each payload may carry a detached srm.order span, ended when its ACK
-// arrives (or when the send fails outright).
-type sendQueue struct {
-	sendNow  func(data []byte) error
-	queue    [][]byte
-	spans    []*obs.Span
-	inflight bool
-	cur      *obs.Span
-}
-
-func (q *sendQueue) send(data []byte, sp *obs.Span) {
-	if q.inflight {
-		q.queue = append(q.queue, data)
-		q.spans = append(q.spans, sp)
-		return
-	}
-	q.inflight = true
-	q.cur = sp
-	if err := q.sendNow(data); err != nil {
-		q.inflight = false
-		q.cur.End()
-		q.cur = nil
-	}
-}
-
-func (q *sendQueue) acked() {
-	q.cur.End()
-	q.cur = nil
-	if len(q.queue) == 0 {
-		q.inflight = false
-		return
-	}
-	next := q.queue[0]
-	q.queue = q.queue[1:]
-	q.cur = q.spans[0]
-	q.spans = q.spans[1:]
-	if err := q.sendNow(next); err != nil {
-		q.inflight = false
-		q.cur.End()
-		q.cur = nil
-	}
-}

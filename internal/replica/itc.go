@@ -3,6 +3,7 @@ package replica
 import (
 	"itdos/internal/itc"
 	"itdos/internal/smiop"
+	"itdos/internal/transport"
 )
 
 // buildITC constructs the intrusion-tolerance controller over the
@@ -15,7 +16,7 @@ func (sys *System) buildITC() error {
 	for _, d := range sys.cfg.Domains {
 		domains = append(domains, itc.Domain{Name: d.Name, N: d.N, F: d.F})
 	}
-	ctrl, err := itc.New(*sys.cfg.ITC, sys.Net, &itcActions{sys: sys}, domains,
+	ctrl, err := itc.New(*sys.cfg.ITC, sys.tr, &itcActions{sys: sys}, domains,
 		sys.cfg.Metrics, sys.tracer, sys.cfg.Flight)
 	if err != nil {
 		return err
@@ -31,7 +32,7 @@ func (sys *System) ITC() *itc.Controller { return sys.itc }
 // itcActions implements itc.Actions against the running system.
 type itcActions struct {
 	sys    *System
-	sender *sendQueue
+	sender *transport.SendQueue
 }
 
 var _ itc.Actions = (*itcActions)(nil)
@@ -41,7 +42,7 @@ func (a *itcActions) sendGM(kind smiop.Kind, payload []byte) {
 		a.sender = a.sys.newSender(itc.Identity, GMDomainName)
 	}
 	env := &smiop.Envelope{Kind: kind, SrcDomain: itc.Identity, Payload: payload}
-	a.sender.send(env.Encode(), nil)
+	a.sender.Send(env.Encode(), nil)
 }
 
 // RequestRekey implements itc.Actions.

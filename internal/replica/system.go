@@ -5,6 +5,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"itdos/internal/seckey"
 	"itdos/internal/smiop"
 	"itdos/internal/srm"
+	"itdos/internal/transport"
 	"itdos/internal/vote"
 )
 
@@ -53,10 +55,24 @@ type ClientSpec struct {
 	Profile Profile
 }
 
-// SystemConfig wires a whole ITDOS system onto the simulator.
+// SystemConfig wires a whole ITDOS system onto a transport.
 type SystemConfig struct {
 	Seed    int64
 	Latency netsim.LatencyModel
+
+	// Transport carries all system traffic. Nil — the default — builds a
+	// fresh netsim.Network from Seed and Latency (the deterministic twin).
+	// A TCP backend turns the same wiring into one process of a real
+	// cluster: every process builds the identical full system, the
+	// transport suppresses the instances it does not host, and
+	// DeterministicKeys makes the key material agree across processes.
+	Transport transport.Transport
+
+	// DeterministicKeys derives every identity's Ed25519 key from
+	// ConfigSecret instead of fresh randomness, so independently built
+	// processes of a cluster agree on all key material. Off by default:
+	// single-process systems keep fresh random keys.
+	DeterministicKeys bool
 
 	// Registry is the shared interface repository (distributed as
 	// configuration, like the paper's marshalling-engine inputs).
@@ -205,10 +221,16 @@ type DomainRuntime struct {
 	ring     *pbft.Keyring
 }
 
-// System is a complete ITDOS deployment on a simulated network: the Group
+// System is a complete ITDOS deployment on a transport: the Group
 // Manager domain, the application domains, and singleton clients.
 type System struct {
+	// Net is the deterministic simulator when the system runs on one
+	// (the default); nil when the configured transport is a real network.
+	// Simulation-only drivers (RunUntil, CallAndRun) require it.
 	Net *netsim.Network
+
+	// tr carries all traffic; equals Net on the simulator.
+	tr transport.Transport
 
 	cfg      SystemConfig
 	registry *idl.Registry
@@ -236,8 +258,12 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = netsim.NewNetwork(cfg.Seed, cfg.Latency)
+	}
 	sys := &System{
-		Net:        netsim.NewNetwork(cfg.Seed, cfg.Latency),
+		tr:         tr,
 		cfg:        cfg,
 		registry:   cfg.Registry,
 		globalRing: pbft.NewKeyring(),
@@ -246,9 +272,21 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		clients:    make(map[string]*Client),
 		gmInfo:     smiop.PeerInfo{Name: GMDomainName, N: cfg.GM.N, F: cfg.GM.F},
 	}
+	// Keep the simulator handle when (and only when) the transport is the
+	// deterministic twin; sim-only drivers gate on it.
+	if net, ok := tr.(*netsim.Network); ok {
+		sys.Net = net
+	}
+	if sys.Net == nil && cfg.ITC != nil {
+		// The controller is a deployment singleton; with every cluster
+		// process building the full system, each would run its own
+		// controller and act on the shared Group Manager. Keep it a
+		// simulation feature until it has a distributed home.
+		return nil, fmt.Errorf("replica: ITC requires the netsim transport")
+	}
 	// An unbound flight recorder stamps events from this deployment's
-	// virtual clock (first non-nil clock wins; nil recorder no-ops).
-	sys.cfg.Flight.Bind(sys.Net)
+	// clock (first non-nil clock wins; nil recorder no-ops).
+	sys.cfg.Flight.Bind(sys.tr)
 
 	// Global element/client identities.
 	for j := 0; j < cfg.GM.N; j++ {
@@ -306,12 +344,46 @@ func GMElementIdentity(member int) string {
 }
 
 func (sys *System) addIdentity(identity string) error {
-	priv, err := pbft.GenerateIdentity(identity, sys.globalRing)
+	var priv ed25519.PrivateKey
+	var err error
+	if sys.cfg.DeterministicKeys {
+		priv, err = pbft.DeriveIdentity(identity, sys.deriveSecret("identity-keys"), sys.globalRing)
+	} else {
+		priv, err = pbft.GenerateIdentity(identity, sys.globalRing)
+	}
 	if err != nil {
 		return err
 	}
 	sys.privs[identity] = priv
 	return nil
+}
+
+// seedRing registers every global identity's public key in a domain's
+// ordering keyring. With a shared in-process ring the lazy registration in
+// newSender would suffice, but cluster processes build their systems
+// independently: a replica process never constructs the client's sender, so
+// it must learn the client's verification key at build time or reject every
+// request the client signs.
+func (sys *System) seedRing(ring *pbft.Keyring) {
+	ids := make([]string, 0, len(sys.privs))
+	for identity := range sys.privs {
+		ids = append(ids, identity)
+	}
+	sort.Strings(ids)
+	for _, identity := range ids {
+		if pub, ok := sys.globalRing.Lookup(identity); ok {
+			ring.Add(identity, pub)
+		}
+	}
+}
+
+// identitySeed returns the per-domain replica key seed under
+// DeterministicKeys (nil otherwise: fresh random keys).
+func (sys *System) identitySeed(domain string) []byte {
+	if !sys.cfg.DeterministicKeys {
+		return nil
+	}
+	return sys.deriveSecret("replica-keys/" + domain)
 }
 
 // signWith signs msg with a private key (nil disables signatures for the
@@ -427,7 +499,8 @@ func (sys *System) openShare(gmIdentity, recipient string, connID, era uint64, s
 
 func (sys *System) buildGM() error {
 	ring := pbft.NewKeyring()
-	dom, err := srm.NewDomain(sys.Net, srm.DomainConfig{
+	sys.seedRing(ring)
+	dom, err := srm.NewDomain(sys.tr, srm.DomainConfig{
 		Name: GMDomainName, N: sys.gmInfo.N, F: sys.gmInfo.F,
 		QueueCapacity:      sys.cfg.QueueCapacity,
 		CheckpointInterval: sys.cfg.CheckpointInterval,
@@ -435,6 +508,7 @@ func (sys *System) buildGM() error {
 		MaxBatch:           sys.cfg.MaxBatch,
 		BatchWait:          sys.cfg.BatchWait,
 		Ring:               ring,
+		IdentitySeed:       sys.identitySeed(GMDomainName),
 		Metrics:            sys.cfg.Metrics,
 		Flight:             sys.cfg.Flight,
 	})
@@ -482,7 +556,7 @@ func (sys *System) buildGM() error {
 			Domains:    domainTable,
 			Registry:   sys.registry,
 			Epsilon:    sys.cfg.Epsilon,
-			Transport:  &gmTransport{sys: sys, gmIdentity: gmIdentity, senders: map[string]*sendQueue{}},
+			Transport:  &gmTransport{sys: sys, gmIdentity: gmIdentity, senders: map[string]*transport.SendQueue{}},
 			SealShare: func(recipient string, connID, era uint64, share []byte) ([]byte, error) {
 				return sys.sealShare(gmIdentity, recipient, connID, era, share)
 			},
@@ -508,7 +582,7 @@ func (sys *System) buildGM() error {
 type gmTransport struct {
 	sys        *System
 	gmIdentity string
-	senders    map[string]*sendQueue
+	senders    map[string]*transport.SendQueue
 }
 
 var _ groupmgr.Transport = (*gmTransport)(nil)
@@ -520,12 +594,12 @@ func (t *gmTransport) SendOrdered(domain string, payload []byte) {
 		q = t.sys.newSender(t.gmIdentity, domain)
 		t.senders[domain] = q
 	}
-	q.send(payload, nil)
+	q.Send(payload, nil)
 }
 
 // SendDirect implements groupmgr.Transport.
 func (t *gmTransport) SendDirect(client string, payload []byte) {
-	t.sys.Net.Send(netsim.NodeID(t.gmIdentity), netsim.NodeID(clientInboxAddr(client)), payload)
+	t.sys.tr.Send(transport.NodeID(t.gmIdentity), transport.NodeID(clientInboxAddr(client)), payload)
 }
 
 func clientInboxAddr(name string) string { return name + "/inbox" }
@@ -538,7 +612,8 @@ func elementInboxAddr(domain string, member int) string {
 
 func (sys *System) buildDomain(spec DomainSpec) error {
 	ring := pbft.NewKeyring()
-	dom, err := srm.NewDomain(sys.Net, srm.DomainConfig{
+	sys.seedRing(ring)
+	dom, err := srm.NewDomain(sys.tr, srm.DomainConfig{
 		Name: spec.Name, N: spec.N, F: spec.F,
 		QueueCapacity:      sys.cfg.QueueCapacity,
 		CheckpointInterval: sys.cfg.CheckpointInterval,
@@ -549,6 +624,7 @@ func (sys *System) buildDomain(spec DomainSpec) error {
 		// replication-domain option only (see buildGM).
 		TentativeExecution: sys.cfg.TentativeExecution,
 		Ring:               ring,
+		IdentitySeed:       sys.identitySeed(spec.Name),
 		Metrics:            sys.cfg.Metrics,
 		Flight:             sys.cfg.Flight,
 	})
@@ -593,7 +669,7 @@ func (sys *System) buildClient(spec ClientSpec) error {
 // newSender builds a queued ordered sender from an identity into a
 // domain's ordering group, registering the identity's public key in that
 // domain's PBFT keyring.
-func (sys *System) newSender(identity, target string) *sendQueue {
+func (sys *System) newSender(identity, target string) *transport.SendQueue {
 	var dom *srm.Domain
 	var ring *pbft.Keyring
 	switch target {
@@ -605,7 +681,7 @@ func (sys *System) newSender(identity, target string) *sendQueue {
 			// Unknown target: a queue whose sends vanish. The caller's
 			// higher-level call will fail by timeout at the application
 			// level; simulation code paths should not panic.
-			return &sendQueue{sendNow: func([]byte) error { return fmt.Errorf("unknown domain %s", target) }}
+			return &transport.SendQueue{SendNow: func([]byte) error { return fmt.Errorf("unknown domain %s", target) }}
 		}
 		dom, ring = dr.Dom, dr.ring
 	}
@@ -614,14 +690,14 @@ func (sys *System) newSender(identity, target string) *sendQueue {
 	}
 	auth := pbft.NewEd25519Auth(identity, sys.privs[identity], ring)
 	addr := fmt.Sprintf("%s/tx/%s", identity, target)
-	q := &sendQueue{}
+	q := &transport.SendQueue{}
 	sender, err := srm.NewSenderWithAuth(dom, identity, addr, auth, sys.cfg.SendTimeout)
 	if err != nil {
-		q.sendNow = func([]byte) error { return err }
+		q.SendNow = func([]byte) error { return err }
 		return q
 	}
-	sender.OnAck = func(uint64) { q.acked() }
-	q.sendNow = func(data []byte) error {
+	sender.OnAck = func(uint64) { q.Acked() }
+	q.SendNow = func(data []byte) error {
 		_, err := sender.Send(data)
 		return err
 	}
@@ -645,12 +721,12 @@ func (sys *System) Metrics() *obs.Registry { return sys.cfg.Metrics }
 // Flight returns the system's flight recorder (nil when disabled).
 func (sys *System) Flight() *flight.Recorder { return sys.cfg.Flight }
 
-// EnableTracing turns on invocation tracing over the simulator's virtual
-// clock and returns the tracer. Call it before driving traffic: streams
+// EnableTracing turns on invocation tracing over the transport's clock
+// and returns the tracer. Call it before driving traffic: streams
 // capture the tracer when their connection is installed. Idempotent.
 func (sys *System) EnableTracing() *obs.Tracer {
 	if sys.tracer == nil {
-		sys.tracer = obs.NewTracer(sys.Net)
+		sys.tracer = obs.NewTracer(sys.tr)
 	}
 	for _, dr := range sys.domains {
 		for _, el := range dr.Elements {
@@ -672,8 +748,15 @@ func (sys *System) Tracer() *obs.Tracer { return sys.tracer }
 // GMInfo returns the Group Manager group description.
 func (sys *System) GMInfo() smiop.PeerInfo { return sys.gmInfo }
 
+// Transport returns the transport carrying this system's traffic.
+func (sys *System) Transport() transport.Transport { return sys.tr }
+
 // RunUntil drives the network until cond holds (see netsim.RunUntil).
+// Only valid on the simulator transport.
 func (sys *System) RunUntil(cond func() bool, maxEvents int) error {
+	if sys.Net == nil {
+		return fmt.Errorf("replica: RunUntil requires the netsim transport")
+	}
 	return sys.Net.RunUntil(cond, maxEvents)
 }
 

@@ -27,7 +27,7 @@ import (
 	"time"
 
 	"itdos/internal/cdr"
-	"itdos/internal/netsim"
+	"itdos/internal/transport"
 	"itdos/internal/obs"
 	"itdos/internal/obs/flight"
 	"itdos/internal/pbft"
@@ -273,6 +273,10 @@ type DomainConfig struct {
 	TentativeExecution bool
 	// Ring carries Ed25519 identities; nil selects null authentication.
 	Ring *pbft.Keyring
+	// IdentitySeed, when non-nil (and Ring is set), derives the replica
+	// keys deterministically so independently built cluster processes
+	// agree on key material (see pbft.DeriveIdentity).
+	IdentitySeed []byte
 	// Metrics, if non-nil, receives SRM delivery counters and the
 	// underlying PBFT group's phase counters, labelled with Name.
 	Metrics *obs.Registry
@@ -281,8 +285,8 @@ type DomainConfig struct {
 	Flight *flight.Recorder
 }
 
-// NewDomain builds a replication domain on the simulated network.
-func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
+// NewDomain builds a replication domain on a transport.
+func NewDomain(net transport.Transport, cfg DomainConfig) (*Domain, error) {
 	if cfg.QueueCapacity == 0 {
 		cfg.QueueCapacity = 1024
 	}
@@ -298,6 +302,7 @@ func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
 		MaxBatch:           cfg.MaxBatch,
 		BatchWait:          cfg.BatchWait,
 		TentativeExecution: cfg.TentativeExecution,
+		IdentitySeed:       cfg.IdentitySeed,
 		Metrics:            cfg.Metrics,
 		MetricsLabel:       cfg.Name,
 		Flight:             cfg.Flight,
@@ -330,7 +335,7 @@ func NewDomain(net *netsim.Network, cfg DomainConfig) (*Domain, error) {
 }
 
 // Addrs returns the domain's element transport addresses.
-func (d *Domain) Addrs() []netsim.NodeID { return d.Group.Addrs }
+func (d *Domain) Addrs() []transport.NodeID { return d.Group.Addrs }
 
 // deliver pushes one freshly ordered message to the consumer.
 func (el *Element) deliver(seq uint64, sender string, data []byte) {

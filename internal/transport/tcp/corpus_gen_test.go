@@ -1,0 +1,51 @@
+//go:build corpusgen
+
+package tcp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"itdos/internal/transport"
+)
+
+// TestGenTCPFrameCorpus writes the committed seed corpus for
+// FuzzTCPFrameDecode: well-formed frames (typical identity shapes and an
+// empty payload), both identity-length truncations, a maximal u8 identity
+// length claiming more bytes than the body holds, and an empty body.
+// Regenerate with:
+//
+//	go test -tags corpusgen -run TestGenTCPFrameCorpus ./internal/transport/tcp
+func TestGenTCPFrameCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzTCPFrameDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := func(from, to string, payload []byte) []byte {
+		frame, err := AppendFrame(nil, transport.NodeID(from), transport.NodeID(to), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame[frameHeaderLen:]
+	}
+	full := body("gm/r0", "calc/r3/inbox", []byte("share-bundle-bytes"))
+	seeds := [][]byte{
+		full,
+		body("alice/tx/calc", "calc/r0", nil),
+		body("", "", []byte{}),
+		full[:3],                           // cut inside the from identity
+		full[:len(full)-20],                // cut inside the to identity
+		{0xFF, 'a', 'b'},                   // fromLen=255 claims past the body end
+		{5, 'a', 'b', 'c', 'd', 'e', 0xFF}, // toLen=255 claims past the end
+		{},
+	}
+	for i, seed := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%d", i))
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

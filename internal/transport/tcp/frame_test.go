@@ -1,0 +1,84 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"itdos/internal/transport"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		from, to transport.NodeID
+		payload  []byte
+	}{
+		{"a", "b", []byte("hello")},
+		{"calc/r1", "alice/inbox", nil},
+		{"", "", []byte{}},
+		{"gm/r0", "calc/r3/inbox", bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for _, tc := range cases {
+		frame, err := AppendFrame(nil, tc.from, tc.to, tc.payload)
+		if err != nil {
+			t.Fatalf("AppendFrame(%q,%q): %v", tc.from, tc.to, err)
+		}
+		body, err := readFrame(bytes.NewReader(frame), DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		from, to, payload, err := DecodeFrame(body)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if from != tc.from || to != tc.to || !bytes.Equal(payload, tc.payload) {
+			t.Fatalf("round trip changed frame: (%q,%q,%q) != (%q,%q,%q)",
+				from, to, payload, tc.from, tc.to, tc.payload)
+		}
+	}
+}
+
+func TestFrameRejectsLongIdentity(t *testing.T) {
+	long := transport.NodeID(strings.Repeat("x", 256))
+	if _, err := AppendFrame(nil, long, "b", nil); err == nil {
+		t.Fatal("accepted 256-byte from identity")
+	}
+	if _, err := AppendFrame(nil, "a", long, nil); err == nil {
+		t.Fatal("accepted 256-byte to identity")
+	}
+}
+
+func TestReadFrameBoundsLength(t *testing.T) {
+	// A length prefix larger than maxFrame must be rejected before the
+	// body is allocated or read.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	_, err := readFrame(bytes.NewReader(hdr), 1<<16)
+	if !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("oversize length prefix: got %v, want errFrameTooLarge", err)
+	}
+}
+
+func TestDecodeFrameTruncation(t *testing.T) {
+	frame, err := AppendFrame(nil, "calc/r0", "alice/inbox", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[frameHeaderLen:]
+	// Every proper prefix that cuts into the identities must be rejected,
+	// never panic. (Prefixes that still contain both identities decode with
+	// a shorter payload — that is the framing contract: payload is
+	// whatever follows the identities.)
+	for n := 0; n < len(body); n++ {
+		from, to, payload, err := DecodeFrame(body[:n])
+		if err != nil {
+			continue
+		}
+		if from != "calc/r0" || to != "alice/inbox" {
+			t.Fatalf("truncated body decoded to wrong identities (%q,%q) at %d", from, to, n)
+		}
+		if len(payload) >= len("payload") {
+			t.Fatalf("truncated body decoded full payload at %d", n)
+		}
+	}
+}

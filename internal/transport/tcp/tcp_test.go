@@ -1,0 +1,206 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"itdos/internal/obs"
+	"itdos/internal/transport"
+)
+
+// twoProcs builds and starts two loopback transports, a and b, hosting
+// the identity prefixes "a" and "b" respectively.
+func twoProcs(t *testing.T) (*Transport, *Transport) {
+	t.Helper()
+	hosts := map[string][]string{"pa": {"a"}, "pb": {"b"}}
+	ta, err := New(Config{Process: "pa", Listen: "127.0.0.1:0", Hosts: hosts, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := New(Config{Process: "pb", Listen: "127.0.0.1:0", Hosts: hosts, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := map[string]string{"pa": ta.Addr(), "pb": tb.Addr()}
+	ta.SetPeers(addrs)
+	tb.SetPeers(addrs)
+	if err := ta.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ta.Close(); tb.Close() })
+	return ta, tb
+}
+
+func TestTCPSendRemoteAndLocal(t *testing.T) {
+	ta, tb := twoProcs(t)
+
+	gotB := make(chan string, 1)
+	tb.Post(func() {
+		tb.AddNode("b/inbox", transport.HandlerFunc(func(from transport.NodeID, payload []byte) {
+			gotB <- string(from) + "|" + string(payload)
+		}))
+	})
+	gotA := make(chan string, 1)
+	ta.Post(func() {
+		ta.AddNode("a/inbox", transport.HandlerFunc(func(from transport.NodeID, payload []byte) {
+			gotA <- string(from) + "|" + string(payload)
+		}))
+		// Remote: a → b over the socket.
+		ta.Send("a", "b/inbox", []byte("over-tcp"))
+		// Local: a → a via the loop's local queue.
+		ta.Send("a", "a/inbox", []byte("loopback"))
+	})
+
+	for want, ch := range map[string]chan string{
+		"a|over-tcp": gotB,
+		"a|loopback": gotA,
+	} {
+		select {
+		case got := <-ch:
+			if got != want {
+				t.Fatalf("delivery mismatch: got %q, want %q", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %q", want)
+		}
+	}
+}
+
+func TestTCPGhostSuppression(t *testing.T) {
+	ta, tb := twoProcs(t)
+
+	delivered := make(chan string, 4)
+	tb.Post(func() {
+		tb.AddNode("b/inbox", transport.HandlerFunc(func(_ transport.NodeID, payload []byte) {
+			delivered <- string(payload)
+		}))
+	})
+	ta.Post(func() {
+		// A ghost registration: "b/ghost" routes to process pb, so pa must
+		// ignore it rather than swallow pb's traffic.
+		ta.AddNode("b/ghost", transport.HandlerFunc(func(transport.NodeID, []byte) {
+			t.Error("ghost node received a delivery")
+		}))
+		// A ghost send: "b" is hosted by pb, so pa must drop it.
+		ta.Send("b", "b/inbox", []byte("from-ghost"))
+		// The hosted identity still works.
+		ta.Send("a", "b/inbox", []byte("from-real"))
+	})
+
+	select {
+	case got := <-delivered:
+		if got != "from-real" {
+			t.Fatalf("ghost send was delivered: %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+	}
+}
+
+func TestTCPMulticastAndGroups(t *testing.T) {
+	ta, tb := twoProcs(t)
+
+	got := make(chan string, 4)
+	tb.Post(func() {
+		tb.AddNode("b/r0", transport.HandlerFunc(func(_ transport.NodeID, p []byte) { got <- "b/r0:" + string(p) }))
+	})
+	ta.Post(func() {
+		ta.AddNode("a/r0", transport.HandlerFunc(func(_ transport.NodeID, p []byte) { got <- "a/r0:" + string(p) }))
+	})
+	// Both processes track full membership; multicast fans out from the
+	// sender's process to local and remote members alike.
+	join := func(tr *Transport) {
+		tr.Post(func() {
+			tr.JoinGroup("g", "a/r0")
+			tr.JoinGroup("g", "b/r0")
+		})
+	}
+	join(ta)
+	join(tb)
+	ta.Post(func() {
+		if members := ta.GroupMembers("g"); len(members) != 2 {
+			t.Errorf("group has %d members, want 2", len(members))
+		}
+		ta.Multicast("a", "g", []byte("m"))
+	})
+
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case g := <-got:
+			seen[g] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out; saw %v", seen)
+		}
+	}
+	if !seen["a/r0:m"] || !seen["b/r0:m"] {
+		t.Fatalf("multicast incomplete: %v", seen)
+	}
+}
+
+func TestTCPAfterAndStop(t *testing.T) {
+	ta, _ := twoProcs(t)
+
+	fired := make(chan struct{}, 1)
+	ta.Post(func() {
+		stopped := ta.After(time.Millisecond, func() { t.Error("stopped timer fired") })
+		stopped.Stop()
+		ta.After(5*time.Millisecond, func() { fired <- struct{}{} })
+	})
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestTCPReconnectBackoff(t *testing.T) {
+	hosts := map[string][]string{"pa": {"a"}, "pb": {"b"}}
+	reg := obs.NewRegistry()
+	ta, err := New(Config{
+		Process: "pa", Listen: "127.0.0.1:0", Hosts: hosts, Metrics: reg,
+		// Point pb at a dead port: every dial fails and backs off.
+		Peers:     map[string]string{"pb": "127.0.0.1:1"},
+		RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+
+	retries := reg.Counter("tcp_conn_retries_total")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var n uint64
+		done := make(chan struct{})
+		ta.Post(func() { n = retries.Value(); close(done) })
+		<-done
+		if n >= 3 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("reconnect counter never reached 3")
+}
+
+func TestTCPConfigValidation(t *testing.T) {
+	if _, err := New(Config{Process: "x", Hosts: map[string][]string{"y": {"a"}}}); err == nil {
+		t.Fatal("accepted a process missing from the hosts map")
+	}
+	if _, err := New(Config{Process: "x", Hosts: map[string][]string{"x": {"a"}, "y": {"a"}}}); err == nil {
+		t.Fatal("accepted a duplicate hosted prefix")
+	}
+	tr, err := New(Config{Process: "x", Hosts: map[string][]string{"x": {"a"}, "y": {"b"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err == nil {
+		t.Fatal("started with an unaddressed peer")
+	}
+}

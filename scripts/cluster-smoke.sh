@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# cluster-smoke: boot a real multi-process 3f+1 loopback cluster, drive 200
+# requests through the open-loop load generator, and fail on any error or
+# timeout. This is the `make cluster-smoke` CI gate — the one place the
+# whole stack (TCP transport, connection establishment, ordering, voting)
+# runs as separate OS processes instead of one test binary.
+set -euo pipefail
+
+BIN=${BIN:-./cluster-out}
+SPEC="$BIN/cluster.json"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+mkdir -p "$BIN"
+go build -o "$BIN/itdos-cluster" ./cmd/itdos-cluster
+go build -o "$BIN/itdos-load" ./cmd/itdos-load
+
+# A small pool keeps process start-up quick; 64 concurrent clients is
+# plenty to keep 200 requests in flight.
+"$BIN/itdos-cluster" -init -spec "$SPEC" -f 1 -base-port "${BASE_PORT:-42100}" -pool 64
+
+for node in node0 node1 node2 node3; do
+  "$BIN/itdos-cluster" -spec "$SPEC" -node "$node" &
+  PIDS+=($!)
+done
+
+# Give the listeners a moment; the transport reconnects with backoff, so
+# this only trims retry noise rather than being load-bearing.
+sleep 1
+
+"$BIN/itdos-load" -spec "$SPEC" -node load -rate 200 -total 200 -timeout 15s -fail-on-error
+
+echo "cluster-smoke: ok (200 requests, no errors)"
